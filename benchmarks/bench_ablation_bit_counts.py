@@ -1,0 +1,46 @@
+"""Ablation — accuracy/cost trade-off of the bit-sampling count.
+
+Extends Fig. 8 into a decision table: for each sampled-bit setting,
+injections required and error vs the all-bits profile of the same pruned
+space (isolating bit-sampling error from the other stages).
+"""
+
+from repro import ProgressivePruner
+
+from benchmarks.common import SETTINGS, emit, injector_for
+
+
+def build_report(key: str = "2dconv.k1") -> str:
+    injector = injector_for(key)
+    base = dict(num_loop_iters=SETTINGS.num_loop_iters, seed=SETTINGS.seed)
+
+    reference_space = ProgressivePruner(enable_bitwise=False, **base).prune(injector)
+    reference = reference_space.estimate_profile(injector)
+
+    lines = [
+        f"{key}: bit-sampling ablation "
+        f"(reference = all bits of the same pruned space, "
+        f"{reference_space.n_injections} runs)",
+        f"{'bits':>5s} {'runs':>7s} {'masked':>8s} {'sdc':>8s} {'other':>8s} "
+        f"{'max err vs all-bits':>20s}",
+    ]
+    for n_bits in (2, 4, 8, 16):
+        space = ProgressivePruner(n_bits=n_bits, **base).prune(injector)
+        profile = space.estimate_profile(injector)
+        lines.append(
+            f"{n_bits:5d} {space.n_injections:7d} {profile.pct_masked:7.2f}% "
+            f"{profile.pct_sdc:7.2f}% {profile.pct_other:7.2f}% "
+            f"{profile.max_abs_error(reference):19.2f}p"
+        )
+    lines.append(
+        f"{'all':>5s} {reference_space.n_injections:7d} "
+        f"{reference.pct_masked:7.2f}% {reference.pct_sdc:7.2f}% "
+        f"{reference.pct_other:7.2f}% {'0.00p':>20s}"
+    )
+    return "\n".join(lines)
+
+
+def test_ablation_bit_counts(benchmark):
+    text = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    emit("ablation_bit_counts", text)
+    assert "all" in text

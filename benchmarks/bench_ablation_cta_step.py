@@ -1,0 +1,72 @@
+"""Ablation — is the CTA-wise grouping step necessary?
+
+Paper Section III-B2: threads with equal iCnt in *different* CTAs can
+execute different instructions (observed in HotSpot and Gaussian K2), so
+grouping threads globally by iCnt — skipping the CTA level — picks
+unrepresentative pilots.  We compare three classifiers on HotSpot:
+
+* two-level mean-iCnt grouping (the paper's method);
+* two-level exact-signature grouping (stricter variant);
+* flat global grouping by iCnt only (the ablated, CTA-less classifier).
+
+The flat classifier cannot tell a left-edge thread from a top-edge thread
+with the same iCnt; we report how many (iCnt, instruction-sequence)
+classes each scheme conflates.
+"""
+
+from collections import defaultdict
+
+from repro.gpu.tracing import static_key_sequence
+from repro.pruning import prune_threads
+
+from benchmarks.common import emit, injector_for
+
+
+def build_report(key: str = "hotspot.k1") -> str:
+    injector = injector_for(key)
+    program = injector.instance.program
+    traces = injector.traces
+
+    # Ground truth: threads are truly equivalent only if their dynamic
+    # instruction sequences match.
+    true_classes: dict[tuple, list[int]] = defaultdict(list)
+    for thread, trace in enumerate(traces):
+        true_classes[tuple(static_key_sequence(program, trace))].append(thread)
+
+    # Flat (CTA-less) classifier: iCnt only.
+    flat: dict[int, set] = defaultdict(set)
+    for key_seq, members in true_classes.items():
+        flat[len(key_seq)].add(key_seq)
+    conflated = {icnt: len(seqs) for icnt, seqs in flat.items() if len(seqs) > 1}
+
+    tw_mean = prune_threads(traces, injector.instance.geometry, method="mean")
+    tw_sig = prune_threads(traces, injector.instance.geometry, method="signature")
+
+    lines = [
+        f"{key}: {len(true_classes)} true instruction-sequence classes, "
+        f"{len(flat)} distinct iCnt values",
+        "",
+        "flat iCnt-only classifier (CTA step skipped):",
+    ]
+    for icnt, n in sorted(conflated.items()):
+        lines.append(f"  iCnt={icnt}: conflates {n} different instruction "
+                     f"sequences into one pilot")
+    if not conflated:
+        lines.append("  (no conflation on this kernel)")
+    lines.append("")
+    lines.append(f"two-level 'mean' grouping      : {len(tw_mean.cta_groups)} CTA "
+                 f"groups, {len(tw_mean.thread_groups)} pilots")
+    lines.append(f"two-level 'signature' grouping : {len(tw_sig.cta_groups)} CTA "
+                 f"groups, {len(tw_sig.thread_groups)} pilots")
+    lines.append(f"flat grouping                  : {len(flat)} pilots, "
+                 f"{sum(n - 1 for n in conflated.values())} classes lost")
+    return "\n".join(lines)
+
+
+def test_ablation_cta_step(benchmark):
+    text = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    emit("ablation_cta_step", text)
+    assert "pilots" in text
+    # HotSpot must demonstrate the paper's hazard: some iCnt value maps to
+    # multiple distinct instruction sequences.
+    assert "conflates" in text

@@ -1,0 +1,65 @@
+"""Ablation — resilience profiles under different fault models.
+
+The paper's model is SASSIFI's IOV (destination-register values).  SASSIFI
+also injects store addresses (IOA) and register-file cells (RF); this
+bench compares the three models on the same kernels.  Expected physics:
+
+* IOA skews hard towards crashes/SDC (an address flip either leaves the
+  buffer or lands on someone else's element — almost never masked);
+* RF is the most masked (many registers are dead or already consumed when
+  struck);
+* IOV sits in between.
+"""
+
+import numpy as np
+
+from repro.faults import ResilienceProfile
+
+from benchmarks.common import emit, injector_for
+
+KEYS = ["2dconv.k1", "gemm.k1"]
+N_RUNS = 250
+
+
+def profile_models(key: str) -> str:
+    injector = injector_for(key)
+    rng = np.random.default_rng(0)
+
+    iov = ResilienceProfile()
+    for site in injector.space.sample(N_RUNS, rng):
+        iov.add(injector.inject(site))
+
+    ioa = ResilienceProfile()
+    ioa_sites = []
+    for thread in range(len(injector.traces)):
+        ioa_sites.extend(injector.store_address_sites(thread))
+    picks = rng.choice(len(ioa_sites), size=min(N_RUNS, len(ioa_sites)), replace=False)
+    for index in picks:
+        site = ioa_sites[int(index)]
+        ioa.add(injector.inject_spec(site.thread, site.spec()))
+
+    rf = ResilienceProfile()
+    for site in injector.sample_register_file_sites(N_RUNS, rng):
+        rf.add(injector.inject_spec(site.thread, site.spec()))
+
+    lines = [f"{key}: {N_RUNS} injections per model",
+             f"{'model':>24s} {'masked':>8s} {'sdc':>8s} {'other':>8s}"]
+    for name, profile in (
+        ("IOV (dest value, paper)", iov),
+        ("IOA (store address)", ioa),
+        ("RF (register file)", rf),
+    ):
+        lines.append(
+            f"{name:>24s} {profile.pct_masked:7.1f}% {profile.pct_sdc:7.1f}% "
+            f"{profile.pct_other:7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_fault_models(benchmark):
+    def run():
+        return "\n\n".join(profile_models(key) for key in KEYS)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_fault_models", text)
+    assert "IOA" in text and "RF" in text

@@ -1,0 +1,48 @@
+"""Engineering bench — CTA-sliced injection vs full re-execution.
+
+Not a paper experiment, but the mechanism that makes campaigns practical
+at all: an injection re-executes only the owning CTA and overlays its
+writes onto the golden final heap.  This bench measures both paths on the
+same random sites, asserts they classify identically, and reports the
+speed-up (expected ≈ the CTA count, minus overlay overhead).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.common import emit, injector_for
+
+N_SITES = 40
+
+
+def run_comparison(key: str = "2dconv.k1") -> str:
+    injector = injector_for(key)
+    sites = injector.space.sample(N_SITES, np.random.default_rng(0))
+
+    t0 = time.perf_counter()
+    fast = [injector.inject(s) for s in sites]
+    fast_dt = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = [injector.inject_full(s) for s in sites]
+    full_dt = time.perf_counter() - t0
+
+    agreement = sum(a == b for a, b in zip(fast, full))
+    lines = [
+        f"{key}: {N_SITES} random sites, "
+        f"{injector.instance.geometry.n_ctas} CTAs",
+        f"  fast path : {1000 * fast_dt / N_SITES:7.2f} ms/injection",
+        f"  full rerun: {1000 * full_dt / N_SITES:7.2f} ms/injection",
+        f"  speed-up  : {full_dt / fast_dt:7.2f}x",
+        f"  agreement : {agreement}/{N_SITES}",
+        f"  overlap fallbacks so far: {injector.fallback_count}",
+    ]
+    assert agreement == N_SITES
+    return "\n".join(lines)
+
+
+def test_fastpath_speedup(benchmark):
+    text = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    emit("fastpath_speedup", text)
+    assert "speed-up" in text

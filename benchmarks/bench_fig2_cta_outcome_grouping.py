@@ -1,0 +1,71 @@
+"""Fig. 2 — CTA grouping by fault-injection outcomes (2DCONV, HotSpot).
+
+The paper injects 60K random faults into each of ~5 hand-picked target
+instructions per kernel and groups CTAs by the distribution of per-thread
+masked percentages.  We probe one instruction per distinct execution
+pattern (divergent-region instructions are what expose CTA differences),
+group CTAs per probe, and also combine the probes into their common
+refinement (meet) — the overall injection-derived CTA classification.
+Results are cached for the Fig. 3 comparison.
+"""
+
+from repro.analysis import cta_outcome_grouping, find_target_instructions
+
+from benchmarks.common import emit, injector_for
+
+BITS = [3, 11, 19, 27]  # one probe bit per 8-bit section
+N_PROBES = 6
+
+_cache: dict[str, dict] = {}
+
+
+def partition_meet(partitions: list[list[list[int]]]) -> list[list[int]]:
+    """Common refinement: CTAs together iff together under every probe."""
+    keys: dict[int, tuple] = {}
+    for partition in partitions:
+        for gid, group in enumerate(partition):
+            for cta in group:
+                keys[cta] = keys.get(cta, ()) + (gid,)
+    groups: dict[tuple, list[int]] = {}
+    for cta in sorted(keys):
+        groups.setdefault(keys[cta], []).append(cta)
+    return sorted(groups.values())
+
+
+def outcome_analysis_for(key: str) -> dict:
+    """Per-probe groupings + their meet, computed once per kernel."""
+    if key not in _cache:
+        injector = injector_for(key)
+        probes = find_target_instructions(injector, count=N_PROBES)
+        per_probe = {
+            pc: cta_outcome_grouping(injector, pc, bits=BITS, rng=0)
+            for pc in probes
+        }
+        meet = partition_meet([g.groups for g in per_probe.values()])
+        _cache[key] = {"probes": probes, "per_probe": per_probe, "meet": meet}
+    return _cache[key]
+
+
+def run_kernel(key: str) -> str:
+    injector = injector_for(key)
+    analysis = outcome_analysis_for(key)
+    lines = [f"{key}: per-probe CTA groupings "
+             f"(all threads x {len(BITS)} bits per probe)"]
+    for pc in analysis["probes"]:
+        grouping = analysis["per_probe"][pc]
+        insn = str(injector.instance.program.instructions[pc])[:40]
+        lines.append(f"  pc {pc:4d} {insn:40s} -> {grouping.groups}")
+    lines.append(f"combined (meet over probes): {analysis['meet']}")
+    return "\n".join(lines)
+
+
+def test_fig2_2dconv(benchmark):
+    text = benchmark.pedantic(lambda: run_kernel("2dconv.k1"), rounds=1, iterations=1)
+    emit("fig2_cta_outcome_grouping_2dconv", text)
+    assert "combined" in text
+
+
+def test_fig2_hotspot(benchmark):
+    text = benchmark.pedantic(lambda: run_kernel("hotspot.k1"), rounds=1, iterations=1)
+    emit("fig2_cta_outcome_grouping_hotspot", text)
+    assert "combined" in text

@@ -1,0 +1,51 @@
+"""Fig. 4 — thread grouping inside one CTA (masked% vs iCnt per thread).
+
+The paper plots, for every thread of one CTA, the masked-output
+percentage of an injected instruction next to the thread's iCnt: the two
+series group threads identically.  We regenerate the series for a CTA of
+2DCONV and HotSpot and check that equal-iCnt threads show similar
+masked%, while different-iCnt groups differ.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.analysis import find_target_instructions, thread_outcome_series
+
+from benchmarks.common import emit, injector_for
+
+BITS = [3, 11, 19, 27]
+
+
+def run_kernel(key: str, cta: int) -> str:
+    injector = injector_for(key)
+    pc = find_target_instructions(injector)[0]
+    series = thread_outcome_series(injector, cta=cta, pc=pc, bits=BITS)
+
+    by_icnt: dict[int, list[float]] = defaultdict(list)
+    for icnt, masked in zip(series.icnt, series.masked_pct):
+        if masked is not None:
+            by_icnt[icnt].append(masked)
+
+    lines = [f"{key} CTA {cta}: thread iCnt groups vs masked%"]
+    lines.append(f"{'iCnt':>6s} {'#threads':>9s} {'mean masked%':>13s} "
+                 f"{'std':>6s}")
+    for icnt in sorted(by_icnt):
+        vals = np.array(by_icnt[icnt])
+        lines.append(
+            f"{icnt:6d} {len(vals):9d} {vals.mean():12.1f}% {vals.std():6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig4_2dconv(benchmark):
+    text = benchmark.pedantic(lambda: run_kernel("2dconv.k1", cta=1), rounds=1, iterations=1)
+    emit("fig4_thread_grouping_2dconv", text)
+    assert "iCnt" in text
+
+
+def test_fig4_hotspot(benchmark):
+    text = benchmark.pedantic(lambda: run_kernel("hotspot.k1", cta=8), rounds=1, iterations=1)
+    emit("fig4_thread_grouping_hotspot", text)
+    assert "iCnt" in text

@@ -1,0 +1,65 @@
+"""Fig. 6 — outcome distribution vs number of sampled loop iterations.
+
+The paper sweeps the loop-iteration sample size and watches the outcome
+distribution stabilise (PathFinder by 3, SYRK by 8, K-Means K1 by 15 —
+seed-independent).  We run the same sweep: for each ``num_iter`` the
+pipeline samples that many iterations per loop, and we print the
+masked/sdc/other series; K-Means K1 is swept under two seeds.
+"""
+
+from repro import ProgressivePruner
+
+from benchmarks.common import SETTINGS, emit, injector_for
+
+SWEEP = [1, 2, 3, 4, 6, 8, 10]
+
+
+def sweep_kernel(key: str, seed: int) -> str:
+    injector = injector_for(key)
+    lines = [f"{key} (seed={seed})",
+             f"{'num_iter':>9s} {'masked':>8s} {'sdc':>8s} {'other':>8s} "
+             f"{'runs':>6s}"]
+    prev = None
+    stable_at = None
+    for num_iter in SWEEP:
+        pruner = ProgressivePruner(
+            num_loop_iters=num_iter, n_bits=SETTINGS.n_bits, seed=seed
+        )
+        space = pruner.prune(injector)
+        profile = space.estimate_profile(injector)
+        lines.append(
+            f"{num_iter:9d} {profile.pct_masked:7.2f}% {profile.pct_sdc:7.2f}% "
+            f"{profile.pct_other:7.2f}% {space.n_injections:6d}"
+        )
+        if prev is not None and stable_at is None:
+            if profile.max_abs_error(prev) < 2.0:
+                stable_at = num_iter
+        prev = profile
+    lines.append(f"  first sweep step within 2pp of its predecessor: "
+                 f"num_iter={stable_at}")
+    return "\n".join(lines)
+
+
+def test_fig6_pathfinder(benchmark):
+    text = benchmark.pedantic(lambda: sweep_kernel("pathfinder.k1", SETTINGS.seed),
+                              rounds=1, iterations=1)
+    emit("fig6_loop_sampling_pathfinder", text)
+    assert "num_iter" in text
+
+
+def test_fig6_syrk(benchmark):
+    text = benchmark.pedantic(lambda: sweep_kernel("syrk.k1", SETTINGS.seed),
+                              rounds=1, iterations=1)
+    emit("fig6_loop_sampling_syrk", text)
+    assert "num_iter" in text
+
+
+def test_fig6_kmeans_two_seeds(benchmark):
+    def run():
+        return "\n\n".join(
+            sweep_kernel("k-means.k1", seed) for seed in (SETTINGS.seed, 7)
+        )
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig6_loop_sampling_kmeans_seeds", text)
+    assert text.count("k-means.k1") == 2

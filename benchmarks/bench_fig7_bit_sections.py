@@ -1,0 +1,79 @@
+"""Fig. 7 — outcome distribution per bit-position section and register type.
+
+For 2DCONV and MVT the paper splits destination registers into the .u32
+family (four 8-bit sections: masking falls as the bit position rises) and
+.pred (4-bit condition code: only the zero flag produces errors).  We
+inject per-section samples over the representative threads and print the
+same panels.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.faults import FaultSite, ResilienceProfile
+from repro.gpu.isa import DataType
+from repro.pruning import prune_threads
+
+from benchmarks.common import emit, injector_for
+
+PER_CELL = 120  # injections sampled per (regtype, section) cell
+
+
+def run_kernel(key: str, rng_seed: int = 0) -> str:
+    injector = injector_for(key)
+    program = injector.instance.program
+    tw = prune_threads(injector.traces, injector.instance.geometry)
+    rng = np.random.default_rng(rng_seed)
+
+    # Bucket candidate (thread, dyn, bit) sites by register class + section.
+    cells: dict[tuple[str, int], list[FaultSite]] = defaultdict(list)
+    for group in tw.thread_groups:
+        rep = group.representative
+        for dyn_index, (pc, width) in enumerate(injector.traces[rep]):
+            if width == 0:
+                continue
+            insn = program.instructions[pc]
+            if insn.dest.is_pred:
+                for bit in range(4):
+                    cells[("pred", bit)].append(FaultSite(rep, dyn_index, bit))
+            else:
+                section_width = width // 4
+                for bit in range(width):
+                    cells[("data", bit // section_width)].append(
+                        FaultSite(rep, dyn_index, bit)
+                    )
+
+    lines = [f"{key}: outcome distribution per bit section",
+             f"{'regtype':>8s} {'section':>12s} {'masked':>8s} {'sdc':>8s} "
+             f"{'other':>8s} {'runs':>6s}"]
+    for (regtype, section), sites in sorted(cells.items()):
+        chosen = sites
+        if len(sites) > PER_CELL:
+            picks = rng.choice(len(sites), size=PER_CELL, replace=False)
+            chosen = [sites[int(i)] for i in picks]
+        profile = ResilienceProfile()
+        for site in chosen:
+            profile.add(injector.inject(site))
+        label = (
+            f"bit {section}" if regtype == "pred"
+            else f"bits {section * 8}-{section * 8 + 7}"
+        )
+        lines.append(
+            f"{regtype:>8s} {label:>12s} {profile.pct_masked:7.1f}% "
+            f"{profile.pct_sdc:7.1f}% {profile.pct_other:7.1f}% "
+            f"{profile.n_injections:6d}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig7_2dconv(benchmark):
+    text = benchmark.pedantic(lambda: run_kernel("2dconv.k1"), rounds=1, iterations=1)
+    emit("fig7_bit_sections_2dconv", text)
+    assert "pred" in text
+
+
+def test_fig7_mvt(benchmark):
+    text = benchmark.pedantic(lambda: run_kernel("mvt.k1"), rounds=1, iterations=1)
+    emit("fig7_bit_sections_mvt", text)
+    assert "pred" in text

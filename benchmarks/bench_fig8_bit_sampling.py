@@ -1,0 +1,47 @@
+"""Fig. 8 — outcome distribution vs number of sampled bit positions.
+
+The paper compares 4/8/16/all sampled bits per register for 2DCONV and
+MVT: the masked and SDC percentages converge by 16 bits.  We run the
+pipeline at each setting (thread-, instruction- and loop-wise stages held
+fixed) and print the series.
+"""
+
+from repro import ProgressivePruner
+
+from benchmarks.common import FULL, SETTINGS, emit, injector_for
+
+SWEEP = [4, 8, 16] + ([None] if FULL else [])  # None = all bits
+
+
+def sweep_kernel(key: str) -> str:
+    injector = injector_for(key)
+    lines = [f"{key}: profile vs sampled bit positions",
+             f"{'bits':>6s} {'masked':>8s} {'sdc':>8s} {'other':>8s} {'runs':>7s}"]
+    for n_bits in SWEEP:
+        pruner = ProgressivePruner(
+            num_loop_iters=SETTINGS.num_loop_iters,
+            n_bits=n_bits if n_bits is not None else 64,
+            enable_bitwise=n_bits is not None,
+            seed=SETTINGS.seed,
+        )
+        space = pruner.prune(injector)
+        profile = space.estimate_profile(injector)
+        label = str(n_bits) if n_bits is not None else "all"
+        lines.append(
+            f"{label:>6s} {profile.pct_masked:7.2f}% {profile.pct_sdc:7.2f}% "
+            f"{profile.pct_other:7.2f}% {space.n_injections:7d}"
+        )
+    lines.append("paper reference: percentages stabilise at 16 sampled bits")
+    return "\n".join(lines)
+
+
+def test_fig8_2dconv(benchmark):
+    text = benchmark.pedantic(lambda: sweep_kernel("2dconv.k1"), rounds=1, iterations=1)
+    emit("fig8_bit_sampling_2dconv", text)
+    assert "16" in text
+
+
+def test_fig8_mvt(benchmark):
+    text = benchmark.pedantic(lambda: sweep_kernel("mvt.k1"), rounds=1, iterations=1)
+    emit("fig8_bit_sampling_mvt", text)
+    assert "16" in text

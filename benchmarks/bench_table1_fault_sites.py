@@ -1,0 +1,34 @@
+"""Table I — threads and exhaustive fault sites per kernel.
+
+Reproduces the paper's Table I at our simulation scale: for every kernel,
+the thread count and the Eq.-1 exhaustive fault-site count, printed next
+to the paper's values (which come from full-size inputs on GPGPU-Sim).
+The paper's takeaway — fault sites range 1e5..1e9, far beyond exhaustive
+injection — holds proportionally at our scale (1e3..1e6 for tens to
+hundreds of threads).
+"""
+
+from repro import get_kernel
+from repro.analysis import format_table1
+
+from benchmarks.common import TABLE1_KEYS, emit, injector_for
+
+
+def build_table() -> str:
+    rows = []
+    for key in TABLE1_KEYS:
+        injector = injector_for(key)
+        rows.append(
+            (
+                get_kernel(key),
+                injector.instance.geometry.n_threads,
+                injector.space.total_sites,
+            )
+        )
+    return format_table1(rows)
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table1_fault_sites", text)
+    assert "gemm_kernel" in text

@@ -1,0 +1,50 @@
+"""Table II — statistical sample sizes and their masked%-estimates (GEMM).
+
+The paper's Table II: exhaustive injection of GEMM would take centuries;
+Eq. 4 gives 60,181 runs at (99.8%, ±0.63%) and 1,062 at (95%, ±3%) — and
+the two estimates of the masked fraction differ noticeably (24.2% vs
+21.6%), motivating pruning that achieves ground-truth-grade accuracy at
+hundreds of runs.  We regenerate the sample-size rows exactly, and run the
+two campaigns at our scale (the 60K row is subsampled to the fast
+setting's budget unless REPRO_BENCH_FULL=1).
+"""
+
+from repro.stats import sample_size_worst_case
+
+from benchmarks.common import FULL, baseline_for, emit, injector_for
+
+
+def build_table() -> str:
+    injector = injector_for("gemm.k1")
+    population = injector.space.total_sites
+
+    rows = [
+        f"{'confidence':>10s} {'error margin':>13s} {'# fault sites':>14s} "
+        f"{'masked (%)':>11s}",
+    ]
+    rows.append("-" * len(rows[0]))
+    rows.append(f"{'100%':>10s} {'0.0%':>13s} {population:14,} {'?':>11s}")
+
+    plans = [(0.998, 0.0063), (0.95, 0.03)]
+    for confidence, margin in plans:
+        n_paper = sample_size_worst_case(margin, confidence)
+        # At our scale the (99.8%, 0.63%) plan exceeds what a bench should
+        # run; cap it unless the full profile is requested.
+        n_run = n_paper if (FULL or n_paper <= 2000) else 2000
+        profile = baseline_for("gemm.k1", n=n_run).profile
+        note = "" if n_run == n_paper else f" (ran {n_run})"
+        rows.append(
+            f"{100 * confidence:9.1f}% {100 * margin:12.2f}% {n_paper:14,} "
+            f"{profile.pct_masked:10.2f}%{note}"
+        )
+    rows.append("")
+    rows.append("paper reference: 60,181 runs -> 24.2% masked; "
+                "1,062 runs -> 21.6% masked; exhaustive = 7.73E8 sites")
+    return "\n".join(rows)
+
+
+def test_table2(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table2_statistics", text)
+    assert "60,181" in text
+    assert "1,068" in text or "1,062" in text

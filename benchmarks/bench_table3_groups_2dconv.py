@@ -1,0 +1,31 @@
+"""Table III — CTA and thread groups for 2DCONV.
+
+The paper's Table III: three CTA groups; the corner group holds three
+thread-iCnt classes, the edge group two, the centre group one.  Our scaled
+grid reproduces the same 3-group / {3,2,1}-thread-class structure (with
+different iCnt values and proportions, as expected from the smaller
+image).
+"""
+
+from repro.analysis import format_group_table, group_table
+from repro.pruning import prune_threads
+
+from benchmarks.common import emit, injector_for
+
+
+def build_table() -> str:
+    injector = injector_for("2dconv.k1")
+    tw = prune_threads(injector.traces, injector.instance.geometry)
+    text = format_group_table(group_table(tw, injector.instance.geometry.n_ctas))
+    footer = (
+        "\npaper reference: 3 CTA groups; thread groups "
+        "{13,15,48}/{15,48}/{11} with one representative each"
+    )
+    return text + footer
+
+
+def test_table3(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table3_groups_2dconv", text)
+    assert "C-3" in text
+    assert "C-4" not in text  # exactly three CTA groups

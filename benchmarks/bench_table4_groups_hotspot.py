@@ -1,0 +1,30 @@
+"""Table IV — CTA and thread groups for HotSpot.
+
+The paper's Table IV shows HotSpot's richer structure: many CTA groups,
+each holding several thread-iCnt classes.  Our scaled HotSpot exhibits
+the same shape: multiple CTA groups (grid corner/edge/centre), each with
+3+ thread classes spanning a wide iCnt range.
+"""
+
+from repro.analysis import format_group_table, group_table
+from repro.pruning import prune_threads
+
+from benchmarks.common import emit, injector_for
+
+
+def build_table() -> str:
+    injector = injector_for("hotspot.k1")
+    tw = prune_threads(injector.traces, injector.instance.geometry)
+    text = format_group_table(group_table(tw, injector.instance.geometry.n_ctas))
+    footer = (
+        f"\nCTA groups: {len(tw.cta_groups)}, thread groups: "
+        f"{len(tw.thread_groups)} (paper: 10 CTA groups, 87 thread groups "
+        f"at 36 CTAs / 9216 threads)"
+    )
+    return text + footer
+
+
+def test_table4(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table4_groups_hotspot", text)
+    assert "C-3" in text

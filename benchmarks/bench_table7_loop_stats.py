@@ -1,0 +1,38 @@
+"""Table VII — loop statistics per kernel.
+
+Threads, flattened loop-iteration count, and the percentage of dynamic
+instructions inside loops — sorted ascending by loop share like the
+paper's Table VII.  The structural split must match: HotSpot / 2DCONV /
+NN / Gaussian / LUD-internal are loop-free; the matrix kernels are
+loop-dominated (MVT highest).
+"""
+
+from repro import get_kernel
+from repro.analysis import format_table7
+from repro.pruning import loop_statistics
+
+from benchmarks.common import ALL_KEYS, emit, injector_for
+
+
+def build_table() -> str:
+    rows = []
+    for key in ALL_KEYS:
+        injector = injector_for(key)
+        iters, share = loop_statistics(injector.instance.program, injector.traces)
+        rows.append(
+            (get_kernel(key), injector.instance.geometry.n_threads, iters, share)
+        )
+    rows.sort(key=lambda r: r[3])
+    text = format_table7(rows)
+    footer = ("\npaper reference: loop share 0% (HotSpot, 2DCONV, NN, Gaussian, "
+              "LUD K45) up to 99.71% (MVT)")
+    return text + footer
+
+
+def test_table7(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table7_loop_stats", text)
+    assert "MVT" in text
+    # MVT must be the most loop-dominated kernel, like the paper.
+    data_rows = [l for l in text.splitlines() if l and l[0].isupper() and "%" in l]
+    assert data_rows[-1].split()[0] == "MVT"

@@ -1,0 +1,108 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables or figures.  Results are
+printed and also written under ``benchmarks/results/`` so they survive
+pytest's output capture.
+
+Two cost profiles:
+
+* default ("fast") — reduced bit-sampling / baseline sizes so the whole
+  suite completes in minutes;
+* ``REPRO_BENCH_FULL=1`` — paper-grade settings (16 sampled bits,
+  95%/±3% baselines everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import FaultInjector, ProgressivePruner, load_instance, random_campaign
+from repro.faults import CampaignResult
+from repro.pruning import PrunedSpace
+from repro.stats import sample_size_worst_case
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    n_bits: int
+    num_loop_iters: int
+    baseline_confidence: float
+    baseline_error_margin: float
+    seed: int = 2018
+
+    @property
+    def baseline_runs(self) -> int:
+        return sample_size_worst_case(
+            self.baseline_error_margin, self.baseline_confidence
+        )
+
+
+SETTINGS = (
+    BenchSettings(n_bits=16, num_loop_iters=5,
+                  baseline_confidence=0.95, baseline_error_margin=0.03)
+    if FULL
+    else BenchSettings(n_bits=4, num_loop_iters=4,
+                       baseline_confidence=0.95, baseline_error_margin=0.05)
+)
+
+_injectors: dict[str, FaultInjector] = {}
+_spaces: dict[tuple, PrunedSpace] = {}
+_baselines: dict[tuple, CampaignResult] = {}
+
+
+def injector_for(key: str) -> FaultInjector:
+    if key not in _injectors:
+        _injectors[key] = FaultInjector(load_instance(key))
+    return _injectors[key]
+
+
+def pruned_space_for(key: str, **overrides) -> PrunedSpace:
+    params = dict(
+        n_bits=SETTINGS.n_bits,
+        num_loop_iters=SETTINGS.num_loop_iters,
+        seed=SETTINGS.seed,
+    )
+    params.update(overrides)
+    cache_key = (key, tuple(sorted(params.items())))
+    if cache_key not in _spaces:
+        pruner = ProgressivePruner(**params)
+        _spaces[cache_key] = pruner.prune(injector_for(key))
+    return _spaces[cache_key]
+
+
+def baseline_for(key: str, n: int | None = None) -> CampaignResult:
+    runs = n if n is not None else SETTINGS.baseline_runs
+    cache_key = (key, runs)
+    if cache_key not in _baselines:
+        _baselines[cache_key] = random_campaign(
+            injector_for(key), runs, rng=SETTINGS.seed
+        )
+    return _baselines[cache_key]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} ====="
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+#: Table I kernel order (NN is Table VII-only).
+TABLE1_KEYS = [
+    "hotspot.k1",
+    "k-means.k1", "k-means.k2",
+    "gaussian.k1", "gaussian.k2", "gaussian.k125", "gaussian.k126",
+    "pathfinder.k1",
+    "lud.k44", "lud.k45", "lud.k46",
+    "2dconv.k1", "mvt.k1", "2mm.k1", "gemm.k1", "syrk.k1",
+]
+
+ALL_KEYS = TABLE1_KEYS + ["nn.k1"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quantify how bad the silent corruptions actually are.
+
+The masked/SDC/other profile says how *often* a kernel silently corrupts
+its output; many protection decisions also need how *much*.  This example
+injects the pruned fault-site space through the severity-aware injector
+and reports the SDC magnitude distribution: how many output elements each
+corruption touches and the worst relative error — separating "one element
+off by 1 ulp" faults from "matrix full of infinities" faults.
+
+Run:  python examples/sdc_severity.py [kernel-key]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+
+from repro import FaultInjector, Outcome, ProgressivePruner, load_instance
+from repro.faults import SeverityInjector
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "gemm.k1"
+    injector = FaultInjector(load_instance(key))
+    severity = SeverityInjector(injector)
+
+    space = ProgressivePruner(n_bits=8, num_loop_iters=4).prune(injector)
+    print(f"== {key}: {space.n_injections} pruned-space injections ==")
+
+    records = [severity.inject(ws.site) for ws in space.sites]
+    sdc = [r for r in records if r.outcome is Outcome.SDC]
+    if not sdc:
+        print("no silent data corruptions in the pruned space")
+        return
+
+    fractions = np.array([r.corruption_fraction for r in sdc])
+    finite_errors = np.array(
+        [r.max_rel_error for r in sdc if math.isfinite(r.max_rel_error)]
+    )
+    n_poisoned = sum(1 for r in sdc if not math.isfinite(r.max_rel_error))
+
+    print(f"SDC runs                    : {len(sdc)} "
+          f"({100 * len(sdc) / len(records):.1f}% of injections)")
+    print(f"output elements corrupted   : median "
+          f"{100 * np.median(fractions):.2f}%  "
+          f"p90 {100 * np.percentile(fractions, 90):.2f}%  "
+          f"max {100 * fractions.max():.2f}%")
+    if finite_errors.size:
+        print(f"max relative error (finite) : median {np.median(finite_errors):.2e}  "
+              f"p90 {np.percentile(finite_errors, 90):.2e}  "
+              f"max {finite_errors.max():.2e}")
+    print(f"NaN/Inf-poisoned outputs    : {n_poisoned} "
+          f"({100 * n_poisoned / len(sdc):.1f}% of SDCs)")
+
+    # The practical split a checker designer cares about: tolerable wobble
+    # vs unmistakably wrong.
+    tolerable = sum(
+        1 for r in sdc
+        if math.isfinite(r.max_rel_error) and r.max_rel_error < 1e-3
+    )
+    print(f"\nSDCs with max error < 0.1%  : {tolerable} "
+          f"({100 * tolerable / len(sdc):.1f}%) — a loose output tolerance "
+          f"would accept these")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — Fault-Site Pruning for Practical Reliability Analysis of GPGPU
+Applications (MICRO 2018), reproduced in Python.
+
+Quickstart::
+
+    from repro import FaultInjector, ProgressivePruner, load_instance
+
+    instance = load_instance("gemm.k1")          # staged workload
+    injector = FaultInjector(instance)            # golden run + traces
+    pruned = ProgressivePruner().prune(injector)  # 4-stage pruning
+    profile = pruned.estimate_profile(injector)   # weighted exhaustive run
+    print(profile)                                # masked/sdc/other %
+
+Layers (bottom-up):
+
+* :mod:`repro.gpu`      — functional SIMT simulator (PTXPlus-flavoured ISA)
+* :mod:`repro.kernels`  — the 11 Rodinia/Polybench applications (17 kernels)
+* :mod:`repro.faults`   — single-bit-flip injection + outcome classification
+* :mod:`repro.stats`    — statistical-injection sample sizing (Eqs. 2-4)
+* :mod:`repro.pruning`  — the paper's progressive 4-stage pruning
+* :mod:`repro.analysis` — grouping analytics and table/figure data
+"""
+
+from .errors import (
+    FaultInjectionError,
+    HangDetected,
+    InvalidProgram,
+    KernelAuthoringError,
+    MemoryFault,
+    PruningError,
+    ReproError,
+    SimulatorError,
+)
+from .faults import (
+    FaultInjector,
+    FaultSite,
+    FaultSpace,
+    Outcome,
+    ResilienceProfile,
+    exhaustive_campaign,
+    random_campaign,
+    run_campaign,
+)
+from .kernels import KernelInstance, KernelSpec, all_kernels, get_kernel, load_instance
+from .pruning import ProgressivePruner, PrunedSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultSite",
+    "FaultSpace",
+    "HangDetected",
+    "InvalidProgram",
+    "KernelAuthoringError",
+    "KernelInstance",
+    "KernelSpec",
+    "MemoryFault",
+    "Outcome",
+    "ProgressivePruner",
+    "PrunedSpace",
+    "PruningError",
+    "ReproError",
+    "ResilienceProfile",
+    "SimulatorError",
+    "all_kernels",
+    "exhaustive_campaign",
+    "get_kernel",
+    "load_instance",
+    "random_campaign",
+    "run_campaign",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``     — the kernel registry with threads and fault-site counts.
+* ``profile``  — estimate a kernel's resilience profile via pruning.
+* ``baseline`` — run a statistical random-injection baseline.
+* ``stages``   — show the per-stage fault-site reduction for a kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    FaultInjector,
+    ProgressivePruner,
+    all_kernels,
+    load_instance,
+    random_campaign,
+)
+from .stats import sample_size_worst_case
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-site pruning for GPGPU reliability analysis "
+        "(MICRO 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered kernels")
+
+    profile = sub.add_parser("profile", help="pruned-space resilience profile")
+    profile.add_argument("kernel", help="kernel key, e.g. gemm.k1")
+    profile.add_argument("--loop-iters", type=int, default=5)
+    profile.add_argument("--bits", type=int, default=16)
+    profile.add_argument("--seed", type=int, default=2018)
+
+    baseline = sub.add_parser("baseline", help="random statistical baseline")
+    baseline.add_argument("kernel")
+    baseline.add_argument("--confidence", type=float, default=0.95)
+    baseline.add_argument("--margin", type=float, default=0.03)
+    baseline.add_argument("--seed", type=int, default=2018)
+
+    stages = sub.add_parser("stages", help="per-stage site reduction")
+    stages.add_argument("kernel")
+    stages.add_argument("--loop-iters", type=int, default=5)
+    stages.add_argument("--bits", type=int, default=16)
+
+    report = sub.add_parser("report", help="markdown resilience report")
+    report.add_argument("kernel")
+    report.add_argument("--loop-iters", type=int, default=5)
+    report.add_argument("--bits", type=int, default=8)
+    report.add_argument("--out", default=None, help="write to file instead of stdout")
+    return parser
+
+
+def cmd_list() -> int:
+    print(f"{'key':16s} {'suite':10s} {'kernel':20s} {'threads':>8s} "
+          f"{'fault sites':>12s}")
+    for spec in all_kernels():
+        injector = FaultInjector(spec.build())
+        print(
+            f"{spec.key:16s} {spec.suite:10s} {spec.kernel_name:20s} "
+            f"{injector.instance.geometry.n_threads:8d} "
+            f"{injector.space.total_sites:12,}"
+        )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    injector = FaultInjector(load_instance(args.kernel))
+    pruner = ProgressivePruner(
+        num_loop_iters=args.loop_iters, n_bits=args.bits, seed=args.seed
+    )
+    space = pruner.prune(injector)
+    profile = space.estimate_profile(injector)
+    print(f"{args.kernel}: {space.total_sites:,} sites -> "
+          f"{space.n_injections:,} injections "
+          f"({space.reduction_factor():,.0f}x)")
+    print(profile)
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    injector = FaultInjector(load_instance(args.kernel))
+    n = sample_size_worst_case(args.margin, args.confidence)
+    result = random_campaign(injector, n, rng=args.seed)
+    print(f"{args.kernel}: {n} random injections "
+          f"({100 * args.confidence:.1f}% CI, ±{100 * args.margin:.1f}pp)")
+    print(result.profile)
+    return 0
+
+
+def cmd_stages(args) -> int:
+    injector = FaultInjector(load_instance(args.kernel))
+    pruner = ProgressivePruner(num_loop_iters=args.loop_iters, n_bits=args.bits)
+    space = pruner.prune(injector)
+    print(f"{args.kernel}: exhaustive {space.total_sites:,}")
+    for stage in space.stages:
+        print(f"  after {stage.name:17s}: {stage.sites_after:10,}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import render_report
+
+    injector = FaultInjector(load_instance(args.kernel))
+    pruner = ProgressivePruner(num_loop_iters=args.loop_iters, n_bits=args.bits)
+    space = pruner.prune(injector)
+    profile = space.estimate_profile(injector)
+    text = render_report(injector, space, profile)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "profile":
+        return cmd_profile(args)
+    if args.command == "baseline":
+        return cmd_baseline(args)
+    if args.command == "stages":
+        return cmd_stages(args)
+    if args.command == "report":
+        return cmd_report(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""CTA/thread grouping analytics behind Figs. 2-4.
+
+These helpers run the *empirical* (fault-injection based) groupings the
+paper uses to validate that iCnt is a good classification proxy:
+
+* :func:`cta_outcome_grouping` — Fig. 2: per-CTA distributions of
+  per-thread masked percentages for one target instruction;
+* :func:`cta_icnt_grouping` — Fig. 3: the same grouping driven purely by
+  iCnt statistics (one fault-free run);
+* :func:`thread_outcome_series` — Fig. 4: per-thread masked% and iCnt
+  inside one CTA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults.injector import FaultInjector
+from ..faults.site import FaultSite
+from ..stats.distributions import BoxStats, box_core_distance, group_by_distance
+
+
+@dataclass
+class CTADistribution:
+    """Per-CTA summary of some per-thread metric."""
+
+    cta: int
+    values: list[float]
+    box: BoxStats
+
+
+@dataclass
+class GroupingResult:
+    distributions: list[CTADistribution]
+    groups: list[list[int]]  # lists of CTA ids
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, cta: int) -> int:
+        for gid, members in enumerate(self.groups):
+            if cta in members:
+                return gid
+        raise ValueError(f"CTA {cta} not grouped")
+
+
+def _group(distributions: list[CTADistribution], threshold: float) -> GroupingResult:
+    boxes = [d.box for d in distributions]
+    index_groups = group_by_distance(boxes, box_core_distance, threshold)
+    groups = [[distributions[i].cta for i in g] for g in index_groups]
+    return GroupingResult(distributions=distributions, groups=groups)
+
+
+def find_target_instructions(
+    injector: FaultInjector, count: int = 1
+) -> list[int]:
+    """Pick target *static* instructions (pcs), the way the paper does.
+
+    The paper manually selects ~5 instructions per kernel spanning opcode
+    classes and code locations.  The property that matters for CTA
+    grouping is *which threads execute the instruction*: divergent-region
+    instructions (boundary blocks, guarded bodies) are the probes that
+    expose CTA differences.  We therefore bucket destination-writing pcs
+    by their per-CTA execution-count signature and pick one probe per
+    distinct signature, most-executed signatures first.
+    """
+    geometry = injector.instance.geometry
+    tpc = geometry.threads_per_cta
+    per_cta_counts: dict[int, list[int]] = {}
+    total: dict[int, int] = {}
+    for thread, trace in enumerate(injector.traces):
+        cta = thread // tpc
+        for pc in {pc for pc, width in trace if width}:
+            counts = per_cta_counts.setdefault(pc, [0] * geometry.n_ctas)
+            counts[cta] += 1
+            total[pc] = total.get(pc, 0) + 1
+    if not per_cta_counts:
+        raise ValueError("no destination-writing instructions traced")
+
+    by_signature: dict[tuple, list[int]] = {}
+    for pc, counts in per_cta_counts.items():
+        by_signature.setdefault(tuple(counts), []).append(pc)
+    # One probe per signature: the middle pc of the signature's range, so
+    # probes land inside code regions rather than on their edges.
+    signatures = sorted(
+        by_signature.items(), key=lambda item: -sum(item[0])
+    )
+    picks = [pcs[len(pcs) // 2] for _sig, pcs in signatures[:count]]
+    if len(picks) < count:
+        # Fewer distinct signatures than requested: fill with a positional
+        # spread over all candidates.
+        rest = sorted(set(per_cta_counts) - set(picks))
+        need = count - len(picks)
+        if rest:
+            spread = np.linspace(0, len(rest) - 1, need)
+            picks.extend(rest[int(round(i))] for i in spread)
+    return sorted(dict.fromkeys(picks))
+
+
+def occurrence_of(injector: FaultInjector, thread: int, pc: int) -> int | None:
+    """The middle dynamic occurrence of a static pc in a thread's trace."""
+    occurrences = [
+        i for i, (at, width) in enumerate(injector.traces[thread])
+        if at == pc and width
+    ]
+    if not occurrences:
+        return None
+    return occurrences[len(occurrences) // 2]
+
+
+def thread_masked_pct(
+    injector: FaultInjector,
+    thread: int,
+    pc: int,
+    bits: list[int] | None = None,
+) -> float | None:
+    """Masked% over bit positions of one static instruction in one thread.
+
+    Returns ``None`` when the thread never executes the instruction (the
+    paper's boxplots simply omit such threads).
+    """
+    dyn_index = occurrence_of(injector, thread, pc)
+    if dyn_index is None:
+        return None
+    width = injector.space.width_of(thread, dyn_index)
+    chosen = [b for b in (bits if bits is not None else range(width)) if b < width]
+    if not chosen:
+        return None
+    masked = 0
+    for bit in chosen:
+        outcome = injector.inject(FaultSite(thread, dyn_index, bit))
+        if outcome.category == "masked":
+            masked += 1
+    return 100.0 * masked / len(chosen)
+
+
+def cta_outcome_grouping(
+    injector: FaultInjector,
+    pc: int | list[int],
+    threads_per_cta_sample: int | None = None,
+    bits: list[int] | None = None,
+    threshold: float = 8.0,
+    rng: np.random.Generator | int | None = None,
+) -> GroupingResult:
+    """Fig. 2: group CTAs by their distribution of per-thread masked%.
+
+    ``pc`` is a target static instruction or a list of them (the paper
+    hand-picks ~5 "from different code locations" per kernel; divergent
+    code regions only separate CTAs when probed).  Each thread's value is
+    its masked% averaged over the probes; a thread that never executes a
+    probe can never corrupt anything through it and counts as 100% masked
+    there — the composition effect that makes each CTA's thread-population
+    mix visible, exactly like the paper's boxplots.
+
+    ``threads_per_cta_sample=None`` uses every thread (the paper's 60K
+    random injections amount to dense per-thread coverage); pass a number
+    to subsample for speed.
+    """
+    pcs = [pc] if isinstance(pc, int) else list(pc)
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    geometry = injector.instance.geometry
+    tpc = geometry.threads_per_cta
+    distributions = []
+    for cta in range(geometry.n_ctas):
+        if threads_per_cta_sample is None or threads_per_cta_sample >= tpc:
+            slots = range(tpc)
+        else:
+            slots = np.sort(
+                rng.choice(tpc, size=threads_per_cta_sample, replace=False)
+            )
+        values = []
+        for slot in slots:
+            thread = cta * tpc + int(slot)
+            per_probe = [
+                thread_masked_pct(injector, thread, probe, bits) for probe in pcs
+            ]
+            values.append(
+                float(np.mean([100.0 if p is None else p for p in per_probe]))
+            )
+        distributions.append(
+            CTADistribution(cta=cta, values=values, box=BoxStats.from_values(values))
+        )
+    return _group(distributions, threshold)
+
+
+def cta_icnt_grouping(
+    injector: FaultInjector, threshold: float = 0.6
+) -> GroupingResult:
+    """Fig. 3: group CTAs by the distribution of thread iCnts (no injections)."""
+    geometry = injector.instance.geometry
+    tpc = geometry.threads_per_cta
+    distributions = []
+    for cta in range(geometry.n_ctas):
+        values = [float(len(injector.traces[cta * tpc + s])) for s in range(tpc)]
+        distributions.append(
+            CTADistribution(cta=cta, values=values, box=BoxStats.from_values(values))
+        )
+    return _group(distributions, threshold)
+
+
+@dataclass
+class ThreadSeries:
+    """Fig. 4 raw series for one CTA."""
+
+    threads: list[int]
+    masked_pct: list[float]
+    icnt: list[int]
+
+
+def thread_outcome_series(
+    injector: FaultInjector,
+    cta: int,
+    pc: int,
+    bits: list[int] | None = None,
+) -> ThreadSeries:
+    """Fig. 4 raw series: per-thread masked% at a static instruction plus
+    iCnt, over one CTA.  Threads that never execute ``pc`` report None."""
+    geometry = injector.instance.geometry
+    tpc = geometry.threads_per_cta
+    threads, masked, icnts = [], [], []
+    for slot in range(tpc):
+        thread = cta * tpc + slot
+        threads.append(thread)
+        masked.append(thread_masked_pct(injector, thread, pc, bits))
+        icnts.append(len(injector.traces[thread]))
+    return ThreadSeries(threads=threads, masked_pct=masked, icnt=icnts)

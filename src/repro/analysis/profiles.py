@@ -1,0 +1,70 @@
+"""Profile comparison utilities (Fig. 9 / Tables V-VI error columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.outcome import CATEGORIES, ResilienceProfile
+
+
+@dataclass(frozen=True)
+class ProfileComparison:
+    """Signed per-category percentage-point differences (a - b)."""
+
+    delta_masked: float
+    delta_sdc: float
+    delta_other: float
+
+    @property
+    def max_abs(self) -> float:
+        return max(
+            abs(self.delta_masked), abs(self.delta_sdc), abs(self.delta_other)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"d_masked={self.delta_masked:+.2f}pp d_sdc={self.delta_sdc:+.2f}pp "
+            f"d_other={self.delta_other:+.2f}pp"
+        )
+
+
+def compare_profiles(a: ResilienceProfile, b: ResilienceProfile) -> ProfileComparison:
+    pa, pb = a.as_percentages(), b.as_percentages()
+    return ProfileComparison(
+        delta_masked=pa["masked"] - pb["masked"],
+        delta_sdc=pa["sdc"] - pb["sdc"],
+        delta_other=pa["other"] - pb["other"],
+    )
+
+
+def format_profile_table(rows: list[tuple[str, ResilienceProfile, ResilienceProfile]]) -> str:
+    """Fig. 9-style table: kernel, pruned vs baseline percentages, deltas."""
+    header = (
+        f"{'kernel':16s} | {'pruned masked/sdc/other':>28s} | "
+        f"{'baseline masked/sdc/other':>28s} | {'max |err|':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for kernel, pruned, baseline in rows:
+        pp, pb = pruned.as_percentages(), baseline.as_percentages()
+        cmp_ = compare_profiles(pruned, baseline)
+        lines.append(
+            f"{kernel:16s} | "
+            f"{pp['masked']:7.2f}/{pp['sdc']:7.2f}/{pp['other']:7.2f}    | "
+            f"{pb['masked']:7.2f}/{pb['sdc']:7.2f}/{pb['other']:7.2f}    | "
+            f"{cmp_.max_abs:8.2f}p"
+        )
+    return "\n".join(lines)
+
+
+def average_absolute_errors(
+    pairs: list[tuple[ResilienceProfile, ResilienceProfile]]
+) -> dict[str, float]:
+    """Mean |error| per category across kernels (the paper reports
+    1.68 / 1.90 / 1.64 pp for masked / SDC / other)."""
+    sums = {c: 0.0 for c in CATEGORIES}
+    for a, b in pairs:
+        pa, pb = a.as_percentages(), b.as_percentages()
+        for c in CATEGORIES:
+            sums[c] += abs(pa[c] - pb[c])
+    n = max(len(pairs), 1)
+    return {c: sums[c] / n for c in CATEGORIES}

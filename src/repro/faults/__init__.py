@@ -1,0 +1,32 @@
+"""Fault-injection framework (single-bit flips in destination registers)."""
+
+from .campaign import CampaignResult, exhaustive_campaign, random_campaign, run_campaign
+from .injector import ADDRESS_BITS, DEFAULT_HANG_FACTOR, FaultInjector
+from .model import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
+from .outcome import CATEGORIES, Outcome, ResilienceProfile
+from .persistence import load_campaign, save_campaign
+from .severity import InjectionRecord, SeverityInjector
+from .site import FaultSite
+from .space import FaultSpace
+
+__all__ = [
+    "CATEGORIES",
+    "CampaignResult",
+    "DEFAULT_HANG_FACTOR",
+    "FaultInjector",
+    "FaultSite",
+    "FaultModel",
+    "FaultSpace",
+    "InjectionRecord",
+    "InjectionSpec",
+    "RegisterFileSite",
+    "StoreAddressSite",
+    "Outcome",
+    "ResilienceProfile",
+    "SeverityInjector",
+    "exhaustive_campaign",
+    "load_campaign",
+    "random_campaign",
+    "run_campaign",
+    "save_campaign",
+]

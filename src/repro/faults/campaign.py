@@ -1,0 +1,69 @@
+"""Campaign drivers: batches of injections aggregated into profiles.
+
+Three campaign shapes cover everything the paper does:
+
+* :func:`run_campaign` — inject an explicit site list (optionally
+  weighted), e.g. the exhaustive pruned space;
+* :func:`random_campaign` — ``n`` uniform random sites, the statistical
+  baseline of Section II-D;
+* :func:`exhaustive_campaign` — every site in the space (only sane for
+  small spaces or single instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .injector import FaultInjector
+from .outcome import Outcome, ResilienceProfile
+from .site import FaultSite
+
+
+@dataclass
+class CampaignResult:
+    """Outcomes plus the aggregated (possibly weighted) profile."""
+
+    sites: list[FaultSite]
+    outcomes: list[Outcome]
+    profile: ResilienceProfile
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.sites)
+
+
+def run_campaign(
+    injector: FaultInjector,
+    sites: list[FaultSite],
+    weights: list[float] | None = None,
+) -> CampaignResult:
+    """Inject every site in ``sites``; weight outcomes if weights given."""
+    outcomes = [injector.inject(site) for site in sites]
+    profile = ResilienceProfile.from_outcomes(outcomes, weights)
+    return CampaignResult(sites=list(sites), outcomes=outcomes, profile=profile)
+
+
+def random_campaign(
+    injector: FaultInjector,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> CampaignResult:
+    """``n`` uniform random injections over the exhaustive space."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    sites = injector.space.sample(n, rng)
+    return run_campaign(injector, sites)
+
+
+def exhaustive_campaign(
+    injector: FaultInjector, threads: list[int] | None = None
+) -> CampaignResult:
+    """Every site of the given threads (default: the whole space)."""
+    if threads is None:
+        threads = list(range(injector.space.n_threads))
+    sites: list[FaultSite] = []
+    for thread in threads:
+        sites.extend(injector.space.iter_thread_sites(thread))
+    return run_campaign(injector, sites)

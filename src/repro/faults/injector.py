@@ -1,0 +1,287 @@
+"""The fault injector: golden run + classified faulty runs.
+
+``FaultInjector`` wraps one staged :class:`~repro.kernels.KernelInstance`.
+On construction it performs the golden run, recording per-thread traces
+(which define the fault-site space), per-CTA global-memory write logs and
+the golden output image.
+
+Each injection re-executes only the CTA that owns the injected thread
+against a snapshot of the *initial* heap (CTAs within one launch cannot
+communicate, so this is exact), then rebuilds the faulty final heap by
+reverting that CTA's golden writes and replaying its faulty ones.  If a
+corrupted-but-in-bounds pointer made the faulty CTA write into another
+CTA's output territory, ordering against the other CTA matters, so the
+injector detects the overlap and transparently falls back to a full
+re-execution.  ``inject_full`` is the reference slow path used for
+cross-validation.
+
+Outcome classification (paper Section II-B):
+
+* ``MASKED`` — output image identical to golden;
+* ``SDC``    — run completed, output differs;
+* ``CRASH``  — a memory fault aborted the run;
+* ``HANG``   — a thread exceeded ``hang_factor`` x its golden iCnt budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FaultInjectionError, HangDetected, MemoryFault
+from ..gpu import GPUSimulator, GlobalMemory
+from ..kernels.registry import KernelInstance
+from .model import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
+from .outcome import Outcome
+from .site import FaultSite
+from .space import FaultSpace
+
+#: Faulty runs may execute this many times the CTA's golden instruction
+#: budget before being declared hung.
+DEFAULT_HANG_FACTOR = 10
+
+#: Effective addresses and architected registers are 32-bit cells.
+ADDRESS_BITS = 32
+
+
+class FaultInjector:
+    """Golden state plus the injection entry points for one kernel."""
+
+    def __init__(
+        self,
+        instance: KernelInstance,
+        hang_factor: int = DEFAULT_HANG_FACTOR,
+        verify_golden: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.hang_factor = hang_factor
+        self._launcher = GPUSimulator()
+
+        golden_memory = instance.golden_memory()
+        result = self._launcher.launch(
+            instance.program,
+            instance.geometry,
+            instance.param_bytes,
+            memory=golden_memory,
+            record_traces=True,
+            record_write_logs=True,
+        )
+        if verify_golden:
+            instance.verify_reference(golden_memory)
+
+        self.traces = result.traces
+        self.space = FaultSpace(self.traces)
+        self._golden_memory = golden_memory
+        self._golden_output = instance.output_bytes(golden_memory)
+        self._cta_write_logs = result.cta_write_logs
+        # Byte addresses written by each CTA in the golden run, used both to
+        # revert a CTA's writes and to detect cross-CTA write overlap.
+        self._cta_write_bytes: list[set[int]] = []
+        for log in self._cta_write_logs:
+            touched: set[int] = set()
+            for address, raw in log:
+                touched.update(range(address, address + len(raw)))
+            self._cta_write_bytes.append(touched)
+        tpc = instance.geometry.threads_per_cta
+        self._cta_budget = [
+            self.hang_factor
+            * max(len(self.traces[cta * tpc + s]) for s in range(tpc))
+            + 256
+            for cta in range(instance.geometry.n_ctas)
+        ]
+        self.fallback_count = 0  # full re-executions forced by write overlap
+
+    # ------------------------------------------------------------ injection
+
+    def inject(self, site: FaultSite) -> Outcome:
+        """Classify one single-bit flip using the CTA-sliced fast path."""
+        self._check_site(site)
+        return self.inject_spec(
+            site.thread, InjectionSpec(site.dyn_index, site.bit), label=str(site)
+        )
+
+    def inject_spec(
+        self, thread: int, spec: InjectionSpec, label: str | None = None
+    ) -> Outcome:
+        """Classify one injection of any fault model (fast path)."""
+        label = label if label is not None else f"t{thread}:{spec}"
+        self._check_spec(thread, spec)
+        geometry = self.instance.geometry
+        cta = geometry.cta_of_thread(thread)
+        memory = self.instance.initial_memory.snapshot()
+        faulty_log: list[tuple[int, bytes]] = []
+        memory.write_log = faulty_log
+        try:
+            result = self._launcher.launch(
+                self.instance.program,
+                geometry,
+                self.instance.param_bytes,
+                memory=memory,
+                only_cta=cta,
+                injection=(thread, spec),
+                max_steps=self._cta_budget[cta],
+            )
+        except MemoryFault:
+            return Outcome.CRASH
+        except HangDetected:
+            return Outcome.HANG
+        finally:
+            memory.write_log = None
+        if not result.injection_applied:
+            if spec.model is FaultModel.STORE_ADDRESS:
+                # The targeted store was predicated off: a corrupted address
+                # on a store that never issues has no effect.
+                return Outcome.MASKED
+            raise FaultInjectionError(f"injection at {label} never fired")
+
+        if self._writes_escape_cta(faulty_log, cta):
+            self.fallback_count += 1
+            return self.inject_spec_full(thread, spec, label)
+
+        faulty_final = self._overlay(cta, faulty_log)
+        return self._classify_output(faulty_final)
+
+    def inject_full(self, site: FaultSite) -> Outcome:
+        """Reference slow path: re-execute the entire grid."""
+        self._check_site(site)
+        return self.inject_spec_full(
+            site.thread, InjectionSpec(site.dyn_index, site.bit), label=str(site)
+        )
+
+    def inject_spec_full(
+        self, thread: int, spec: InjectionSpec, label: str | None = None
+    ) -> Outcome:
+        label = label if label is not None else f"t{thread}:{spec}"
+        self._check_spec(thread, spec)
+        memory = self.instance.initial_memory.snapshot()
+        max_steps = max(self._cta_budget)
+        try:
+            result = self._launcher.launch(
+                self.instance.program,
+                self.instance.geometry,
+                self.instance.param_bytes,
+                memory=memory,
+                injection=(thread, spec),
+                max_steps=max_steps,
+            )
+        except MemoryFault:
+            return Outcome.CRASH
+        except HangDetected:
+            return Outcome.HANG
+        if not result.injection_applied:
+            if spec.model is FaultModel.STORE_ADDRESS:
+                return Outcome.MASKED
+            raise FaultInjectionError(f"injection at {label} never fired")
+        return self._classify_output(memory)
+
+    # -------------------------------------------- extended fault-model sites
+
+    def store_address_sites(self, thread: int) -> list[StoreAddressSite]:
+        """Every IOA site of one thread: each bit of each store's address."""
+        program = self.instance.program
+        sites = []
+        for dyn_index, (pc, _width) in enumerate(self.traces[thread]):
+            if program.instructions[pc].op == "st":
+                sites.extend(
+                    StoreAddressSite(thread, dyn_index, bit)
+                    for bit in range(ADDRESS_BITS)
+                )
+        return sites
+
+    def sample_register_file_sites(
+        self, n: int, rng: np.random.Generator
+    ) -> list[RegisterFileSite]:
+        """``n`` random RF sites: (thread, dynamic point, register, bit).
+
+        Registers are drawn from those the thread has *written* by the
+        chosen point (flipping a never-written cell models an upset in an
+        unallocated register — pointless to study).
+        """
+        sites: list[RegisterFileSite] = []
+        program = self.instance.program
+        n_threads = len(self.traces)
+        while len(sites) < n:
+            thread = int(rng.integers(0, n_threads))
+            trace = self.traces[thread]
+            if not trace:
+                continue
+            dyn_index = int(rng.integers(0, len(trace)))
+            written = {
+                program.instructions[pc].dest.name
+                for pc, width in trace[:dyn_index]
+                if width and program.instructions[pc].dest is not None
+            }
+            if not written:
+                continue
+            reg = sorted(written)[int(rng.integers(0, len(written)))]
+            bit = int(rng.integers(0, ADDRESS_BITS))
+            sites.append(RegisterFileSite(thread, dyn_index, reg, bit))
+        return sites
+
+    # -------------------------------------------------------------- helpers
+
+    def _check_site(self, site: FaultSite) -> None:
+        if not 0 <= site.thread < len(self.traces):
+            raise FaultInjectionError(f"{site}: thread out of range")
+        trace = self.traces[site.thread]
+        if not 0 <= site.dyn_index < len(trace):
+            raise FaultInjectionError(f"{site}: dynamic instruction out of range")
+        width = trace[site.dyn_index][1]
+        if not 0 <= site.bit < width:
+            raise FaultInjectionError(
+                f"{site}: bit out of range for a {width}-bit destination"
+            )
+
+    def _check_spec(self, thread: int, spec: InjectionSpec) -> None:
+        if not 0 <= thread < len(self.traces):
+            raise FaultInjectionError(f"thread {thread} out of range")
+        trace = self.traces[thread]
+        if not 0 <= spec.dyn_index < len(trace):
+            raise FaultInjectionError(
+                f"t{thread}/i{spec.dyn_index}: dynamic instruction out of range"
+            )
+        if spec.model is FaultModel.STORE_ADDRESS:
+            pc = trace[spec.dyn_index][0]
+            if self.instance.program.instructions[pc].op != "st":
+                raise FaultInjectionError(
+                    f"t{thread}/i{spec.dyn_index}: STORE_ADDRESS target is not a store"
+                )
+            if not 0 <= spec.bit < ADDRESS_BITS:
+                raise FaultInjectionError(f"address bit {spec.bit} out of range")
+        elif spec.model is FaultModel.REGISTER_FILE:
+            if not 0 <= spec.bit < ADDRESS_BITS:
+                raise FaultInjectionError(f"register bit {spec.bit} out of range")
+
+    def _writes_escape_cta(self, faulty_log, cta: int) -> bool:
+        """Did the faulty CTA write bytes another CTA also writes?"""
+        others: list[set[int]] = [
+            touched
+            for index, touched in enumerate(self._cta_write_bytes)
+            if index != cta
+        ]
+        own = self._cta_write_bytes[cta]
+        for address, raw in faulty_log:
+            span = range(address, address + len(raw))
+            if all(b in own for b in span):
+                continue
+            for touched in others:
+                if any(b in touched for b in span):
+                    return True
+        return False
+
+    def _overlay(self, cta: int, faulty_log) -> GlobalMemory:
+        """Golden final heap with CTA ``cta``'s writes replaced."""
+        final = self._golden_memory.snapshot()
+        initial = self.instance.initial_memory
+        for address, raw in self._cta_write_logs[cta]:
+            final.write_bytes(address, initial.read_bytes(address, len(raw)))
+        final.apply_writes(faulty_log)
+        return final
+
+    def _classify_output(self, memory: GlobalMemory) -> Outcome:
+        try:
+            output = self.instance.output_bytes(memory)
+        except MemoryFault:  # pragma: no cover - outputs are always allocated
+            return Outcome.CRASH
+        if output == self._golden_output:
+            return Outcome.MASKED
+        return Outcome.SDC

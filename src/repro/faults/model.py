@@ -1,0 +1,26 @@
+"""Fault models beyond the paper's default.
+
+The paper injects single-bit flips into **destination register values**
+(mimicking functional-unit soft errors), the same as SASSIFI's IOV mode.
+SASSIFI — the injection methodology the paper builds on — also supports:
+
+* **IOA** (:attr:`FaultModel.STORE_ADDRESS`) — corrupt the effective
+  address of a store (load-store-unit addressing fault);
+* **RF**  (:attr:`FaultModel.REGISTER_FILE`) — flip a bit of an arbitrary
+  architected register at an arbitrary dynamic point (unprotected
+  register-file cell upset).
+
+These extend the injector so the pruning methodology can be studied under
+different fault models (see ``benchmarks/bench_ablation_fault_models.py``).
+The definitions live in :mod:`repro.gpu.injection` (the interpreter
+executes them); this module is the fault-layer face of the same types.
+"""
+
+from ..gpu.injection import (  # noqa: F401
+    FaultModel,
+    InjectionSpec,
+    RegisterFileSite,
+    StoreAddressSite,
+)
+
+__all__ = ["FaultModel", "InjectionSpec", "RegisterFileSite", "StoreAddressSite"]

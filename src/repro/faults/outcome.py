@@ -1,0 +1,106 @@
+"""Fault-injection outcomes and resilience profiles.
+
+The paper classifies every injection into three buckets (Section II-B):
+masked, silent data corruption (SDC), and "other" (crashes + hangs).  We
+keep crash and hang distinguishable internally and collapse them into
+``other`` for reporting, so the profile matches the paper's figures while
+the extra detail remains available.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+    HANG = "hang"
+
+    @property
+    def category(self) -> str:
+        """The paper's three-way bucket: masked / sdc / other."""
+        if self in (Outcome.CRASH, Outcome.HANG):
+            return "other"
+        return self.value
+
+
+CATEGORIES = ("masked", "sdc", "other")
+
+
+@dataclass
+class ResilienceProfile:
+    """A (possibly weighted) distribution of fault-injection outcomes.
+
+    ``weights[c]`` is the total weight of outcomes in category ``c``; with
+    unit weights this is a plain count.  Pruned-space campaigns use weights
+    to extrapolate each representative site to the sites it stands for.
+    """
+
+    weights: dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+    n_injections: int = 0
+
+    def add(self, outcome: Outcome, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ReproError("outcome weight must be non-negative")
+        self.weights[outcome.category] += weight
+        self.n_injections += 1
+
+    def merge(self, other: "ResilienceProfile") -> None:
+        for category in CATEGORIES:
+            self.weights[category] += other.weights[category]
+        self.n_injections += other.n_injections
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self.weights.values())
+
+    def fraction(self, category: str) -> float:
+        total = self.total_weight
+        if total == 0:
+            raise ReproError("empty profile has no outcome fractions")
+        return self.weights[category] / total
+
+    @property
+    def pct_masked(self) -> float:
+        return 100.0 * self.fraction("masked")
+
+    @property
+    def pct_sdc(self) -> float:
+        return 100.0 * self.fraction("sdc")
+
+    @property
+    def pct_other(self) -> float:
+        return 100.0 * self.fraction("other")
+
+    def as_percentages(self) -> dict[str, float]:
+        return {c: 100.0 * self.fraction(c) for c in CATEGORIES}
+
+    def max_abs_error(self, other: "ResilienceProfile") -> float:
+        """Largest absolute percentage-point gap to another profile."""
+        mine, theirs = self.as_percentages(), other.as_percentages()
+        return max(abs(mine[c] - theirs[c]) for c in CATEGORIES)
+
+    @classmethod
+    def from_outcomes(cls, outcomes, weights=None) -> "ResilienceProfile":
+        profile = cls()
+        if weights is None:
+            for outcome in outcomes:
+                profile.add(outcome)
+        else:
+            for outcome, weight in zip(outcomes, weights, strict=True):
+                profile.add(outcome, weight)
+        return profile
+
+    def __str__(self) -> str:
+        pct = self.as_percentages()
+        return (
+            f"masked={pct['masked']:.2f}% sdc={pct['sdc']:.2f}% "
+            f"other={pct['other']:.2f}% (n={self.n_injections})"
+        )

@@ -1,0 +1,62 @@
+"""Persisting campaign results (JSON) for long-running studies.
+
+Real campaigns run for hours; crashing at run 40,000 must not lose runs
+0-39,999.  These helpers serialise campaign results and pruned-space
+estimates to plain JSON so a study can checkpoint, resume, and archive
+its raw outcomes next to the aggregated profiles.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ReproError
+from .campaign import CampaignResult
+from .outcome import CATEGORIES, Outcome, ResilienceProfile
+from .site import FaultSite
+
+FORMAT_VERSION = 1
+
+
+def campaign_to_dict(result: CampaignResult, kernel: str = "") -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "kernel": kernel,
+        "runs": [
+            {
+                "thread": site.thread,
+                "dyn_index": site.dyn_index,
+                "bit": site.bit,
+                "outcome": outcome.value,
+            }
+            for site, outcome in zip(result.sites, result.outcomes)
+        ],
+        "profile": {
+            "weights": result.profile.weights,
+            "n_injections": result.profile.n_injections,
+        },
+    }
+
+
+def campaign_from_dict(data: dict) -> CampaignResult:
+    if data.get("version") != FORMAT_VERSION:
+        raise ReproError(f"unsupported campaign format {data.get('version')!r}")
+    sites = []
+    outcomes = []
+    for run in data["runs"]:
+        sites.append(FaultSite(run["thread"], run["dyn_index"], run["bit"]))
+        outcomes.append(Outcome(run["outcome"]))
+    profile = ResilienceProfile(
+        weights={c: float(data["profile"]["weights"][c]) for c in CATEGORIES},
+        n_injections=int(data["profile"]["n_injections"]),
+    )
+    return CampaignResult(sites=sites, outcomes=outcomes, profile=profile)
+
+
+def save_campaign(result: CampaignResult, path: str | Path, kernel: str = "") -> None:
+    Path(path).write_text(json.dumps(campaign_to_dict(result, kernel), indent=1))
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    return campaign_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""Fault-site identity.
+
+The paper identifies a fault site by (thread id, dynamic instruction id,
+destination-register bit position) — Section II-C.  Sites only exist where
+the dynamic instruction actually writes a destination (predicated-off
+slots and stores contribute zero bits to Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class FaultSite:
+    """One single-bit-flip injection target."""
+
+    thread: int
+    dyn_index: int
+    bit: int
+
+    def __str__(self) -> str:
+        return f"t{self.thread}/i{self.dyn_index}/b{self.bit}"

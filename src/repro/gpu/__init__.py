@@ -1,0 +1,44 @@
+"""Functional GPU simulator substrate (PTXPlus-flavoured ISA).
+
+This package stands in for GPGPU-Sim's PTXPlus mode: it executes kernels at
+the level the paper injects faults at, producing per-thread dynamic traces,
+per-CTA write logs, and deterministic outputs.
+"""
+
+from .builder import KernelBuilder
+from .instruction import Guard, Instruction
+from .isa import DataType, Imm, MemRef, Param, Reg, Special
+from .memory import GLOBAL_BASE, GlobalMemory, ParamMemory, SharedMemory
+from .packing import pack_params
+from .program import Program
+from .registers import RegisterFile, flip_bit
+from .simulator import DEFAULT_MAX_STEPS, GPUSimulator, LaunchGeometry, LaunchResult
+from .tracing import ThreadTrace, TraceSummary, static_key_sequence, summarize
+
+__all__ = [
+    "DEFAULT_MAX_STEPS",
+    "DataType",
+    "GLOBAL_BASE",
+    "GPUSimulator",
+    "GlobalMemory",
+    "Guard",
+    "Imm",
+    "Instruction",
+    "KernelBuilder",
+    "LaunchGeometry",
+    "LaunchResult",
+    "MemRef",
+    "Param",
+    "ParamMemory",
+    "Program",
+    "Reg",
+    "RegisterFile",
+    "SharedMemory",
+    "Special",
+    "ThreadTrace",
+    "TraceSummary",
+    "flip_bit",
+    "pack_params",
+    "static_key_sequence",
+    "summarize",
+]

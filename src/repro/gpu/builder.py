@@ -1,0 +1,308 @@
+"""Assembler DSL for authoring kernels in the PTXPlus-flavoured ISA.
+
+The builder keeps kernel sources close to the PTXPlus listings in the paper
+(Fig. 5) while removing the bookkeeping: register allocation, parameter
+slot layout, label placement and run-time loop scaffolding.
+
+Example::
+
+    k = KernelBuilder("saxpy")
+    x_ptr, y_ptr, n, a = k.params("x", "y", "n", "a_f32")
+    i, addr, xv, yv = k.regs("i", "addr", "xv", "yv")
+    k.cvt("u32", i, k.tid.x)
+    with k.if_lt("u32", i, n):
+        k.shl("u32", addr, i, 2)
+        k.add("u32", addr, addr, x_ptr)
+        ...
+    program = k.build()
+
+Run-time loops (``with k.loop(...)``) emit the canonical compare +
+guarded-branch pattern, so traces contain real back-edges for the loop-wise
+pruning stage to find.  Compile-time unrolling is just a Python ``for``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+from ..errors import KernelAuthoringError
+from .instruction import Guard, Instruction
+from .isa import DataType, Imm, MemRef, Operand, Param, Reg, Special
+from .program import Program
+
+_DTYPE_BY_NAME = {dt.value: dt for dt in DataType}
+
+
+def _dtype(name: str | DataType) -> DataType:
+    if isinstance(name, DataType):
+        return name
+    try:
+        return _DTYPE_BY_NAME[name]
+    except KeyError:
+        raise KernelAuthoringError(f"unknown data type {name!r}") from None
+
+
+def _operand(value) -> Operand:
+    """Accept raw Python numbers as immediates."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Imm(value)
+    if isinstance(value, (Reg, Imm, Special, MemRef, Param)):
+        return value
+    raise KernelAuthoringError(f"cannot use {value!r} as an operand")
+
+
+@dataclass(frozen=True)
+class _SpecialAxes:
+    name: str
+
+    @property
+    def x(self) -> Special:
+        return Special(self.name, "x")
+
+    @property
+    def y(self) -> Special:
+        return Special(self.name, "y")
+
+    @property
+    def z(self) -> Special:
+        return Special(self.name, "z")
+
+
+class KernelBuilder:
+    """Incrementally assembles a :class:`~repro.gpu.program.Program`."""
+
+    tid = _SpecialAxes("tid")
+    ntid = _SpecialAxes("ntid")
+    ctaid = _SpecialAxes("ctaid")
+    nctaid = _SpecialAxes("nctaid")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._pending_label: str | None = None
+        self._param_slots: list[tuple[str, DataType]] = []
+        self._shared_bytes = 0
+        self._reg_names: set[str] = set()
+        self._pred_names: set[str] = set()
+        self._label_counter = 0
+
+    # -------------------------------------------------------- declarations
+
+    def reg(self, name: str) -> Reg:
+        """Declare a general-purpose register ``$<name>``."""
+        if name in self._pred_names:
+            raise KernelAuthoringError(f"{name!r} is already a predicate register")
+        self._reg_names.add(name)
+        return Reg(name)
+
+    def regs(self, *names: str) -> SimpleNamespace:
+        """Declare several registers at once: ``r = k.regs('i', 'j')``."""
+        return SimpleNamespace(**{n: self.reg(n) for n in names})
+
+    def pred(self, name: str = "p0") -> Reg:
+        """Declare a predicate (4-bit condition-code) register.
+
+        Predicates share the register-file namespace with general registers,
+        so a name may not be used for both.
+        """
+        if name in self._reg_names:
+            raise KernelAuthoringError(f"{name!r} is already a general register")
+        self._pred_names.add(name)
+        return Reg(name, kind="p")
+
+    def param(self, name: str, dtype: str | DataType = "u32") -> Param:
+        """Declare the next 4-byte kernel-parameter slot."""
+        dt = _dtype(dtype)
+        if dt.width != 32:
+            raise KernelAuthoringError("parameter slots are 4 bytes wide")
+        offset = 4 * len(self._param_slots)
+        self._param_slots.append((name, dt))
+        return Param(offset)
+
+    def params(self, *names: str) -> tuple[Param, ...]:
+        """Declare several params; a ``_f32``/``_s32`` suffix picks the type."""
+        out = []
+        for name in names:
+            if name.endswith("_f32"):
+                out.append(self.param(name, "f32"))
+            elif name.endswith("_s32"):
+                out.append(self.param(name, "s32"))
+            else:
+                out.append(self.param(name, "u32"))
+        return tuple(out)
+
+    def shared_alloc(self, nbytes: int) -> int:
+        """Reserve CTA shared memory; returns the base byte offset."""
+        base = self._shared_bytes
+        self._shared_bytes += nbytes
+        return base
+
+    @property
+    def param_layout(self) -> tuple[tuple[str, DataType], ...]:
+        return tuple(self._param_slots)
+
+    # --------------------------------------------------------------- labels
+
+    def label(self, name: str | None = None) -> str:
+        """Attach a label to the *next* emitted instruction."""
+        if name is None:
+            name = f"L{self._label_counter}"
+            self._label_counter += 1
+        if name in self._labels or name == self._pending_label:
+            raise KernelAuthoringError(f"duplicate label {name!r}")
+        if self._pending_label is not None:
+            raise KernelAuthoringError("two labels on the same instruction")
+        self._pending_label = name
+        return name
+
+    def fresh_label(self) -> str:
+        name = f"L{self._label_counter}"
+        self._label_counter += 1
+        return name
+
+    # ----------------------------------------------------------------- emit
+
+    def emit(
+        self,
+        op: str,
+        dtype: str | DataType | None = None,
+        dest: Reg | None = None,
+        srcs: tuple = (),
+        *,
+        guard: tuple[Reg, str] | None = None,
+        target: str | None = None,
+        cmp: str | None = None,
+    ) -> None:
+        label, self._pending_label = self._pending_label, None
+        if label is not None:
+            self._labels[label] = len(self._instructions)
+        self._instructions.append(
+            Instruction(
+                op=op,
+                dtype=_dtype(dtype) if dtype is not None else None,
+                dest=dest,
+                srcs=tuple(_operand(s) for s in srcs),
+                guard=Guard(*guard) if guard is not None else None,
+                target=target,
+                cmp=cmp,
+                label=label,
+            )
+        )
+
+    def _alu(self, op: str):
+        def emit_alu(dtype, dest, *srcs, guard=None):
+            self.emit(op, dtype, dest, tuple(srcs), guard=guard)
+
+        return emit_alu
+
+    def __getattr__(self, item: str):
+        # ALU opcodes become emit methods: k.add("u32", d, a, b)
+        from .isa import OPCODES, opcode_has_dest
+
+        if item in OPCODES and opcode_has_dest(item) and item not in (
+            "ld",
+            "set",
+            "setp",
+        ):
+            return self._alu(item)
+        raise AttributeError(item)
+
+    # Named emitters for the irregular shapes --------------------------------
+
+    def mad_op(self, dtype, dest, a, b, c, guard=None):
+        self.emit("mad", dtype, dest, (a, b, c), guard=guard)
+
+    # Aliases for opcodes that collide with Python keywords.
+    def or_(self, dtype, dest, a, b, guard=None):
+        self.emit("or", dtype, dest, (a, b), guard=guard)
+
+    def and_(self, dtype, dest, a, b, guard=None):
+        self.emit("and", dtype, dest, (a, b), guard=guard)
+
+    def not_(self, dtype, dest, a, guard=None):
+        self.emit("not", dtype, dest, (a,), guard=guard)
+
+    def ld(self, dtype, dest, src, guard=None):
+        self.emit("ld", dtype, dest, (src,), guard=guard)
+
+    def st(self, dtype, ref, value, guard=None):
+        self.emit("st", dtype, None, (ref, value), guard=guard)
+
+    def set(self, cmp: str, dtype, dest, a, b, guard=None):
+        self.emit("set", dtype, dest, (a, b), cmp=cmp, guard=guard)
+
+    def bra(self, target: str, guard: tuple[Reg, str] | None = None) -> None:
+        self.emit("bra", target=target, guard=guard)
+
+    def bar(self) -> None:
+        self.emit("bar.sync")
+
+    def nop(self) -> None:
+        self.emit("nop")
+
+    def retp(self, guard=None) -> None:
+        self.emit("retp", guard=guard)
+
+    def exit(self, guard=None) -> None:
+        self.emit("exit", guard=guard)
+
+    def global_ref(self, base: Reg | None, offset: int = 0) -> MemRef:
+        return MemRef("global", base, offset)
+
+    def shared_ref(self, base: Reg | None, offset: int = 0) -> MemRef:
+        return MemRef("shared", base, offset)
+
+    # -------------------------------------------------------- control sugar
+
+    @contextmanager
+    def loop(self, dtype, counter: Reg, start, bound, pred_name: str = "ploop"):
+        """A run-time counted loop ``for counter in [start, bound)``.
+
+        Emits the canonical pattern: init, top label, ``set.ge`` + guarded
+        exit branch, body, increment, back-edge.  The back-edge is what the
+        loop-wise pruning stage detects in traces.
+        """
+        pred = self.pred(pred_name)
+        top = self.fresh_label()
+        end = self.fresh_label()
+        self.mov(dtype, counter, start)
+        self.label(top)
+        self.set("ge", dtype, pred, counter, bound)
+        self.bra(end, guard=(pred, "eq"))
+        yield
+        self.add(dtype, counter, counter, 1)
+        self.bra(top)
+        self.label(end)
+        self.nop()
+
+    @contextmanager
+    def if_block(self, cmp: str, dtype, a, b, pred_name: str = "pif"):
+        """Execute the body only when ``a <cmp> b`` holds (skip-branch)."""
+        pred = self.pred(pred_name)
+        skip = self.fresh_label()
+        # Guarded skip: branch over the body when the condition FAILS.
+        self.set(cmp, dtype, pred, a, b)
+        self.bra(skip, guard=(pred, "ne"))
+        yield
+        self.label(skip)
+        self.nop()
+
+    def if_lt(self, dtype, a, b, pred_name: str = "pif"):
+        return self.if_block("lt", dtype, a, b, pred_name=pred_name)
+
+    # ---------------------------------------------------------------- build
+
+    def build(self) -> Program:
+        if self._pending_label is not None:
+            # A trailing label needs an instruction to land on.
+            self.nop()
+        return Program(
+            name=self.name,
+            instructions=tuple(self._instructions),
+            labels=dict(self._labels),
+            shared_bytes=self._shared_bytes,
+            param_bytes=4 * len(self._param_slots),
+        )

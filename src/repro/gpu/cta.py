@@ -1,0 +1,42 @@
+"""CTA-granularity scheduling.
+
+Threads within a CTA are interleaved at barrier granularity: each thread
+runs until it reaches a ``bar.sync``, exits, or hangs; once every live
+thread has blocked, the barrier releases.  For data-race-free kernels (all
+the workloads here synchronise shared-memory phases with barriers) this
+run-to-barrier schedule is observationally equivalent to any hardware
+interleaving.
+
+A thread that exits without reaching a barrier other threads are waiting at
+does not deadlock the CTA — the barrier releases over the remaining live
+threads, mirroring how hardware barrier counts drop when warps retire.
+Fault-induced infinite loops are caught by the per-thread hang budget
+instead.
+"""
+
+from __future__ import annotations
+
+from .thread import ThreadContext, ThreadState
+
+
+def run_cta(threads: list[ThreadContext]) -> None:
+    """Drive every thread of one CTA to completion.
+
+    Raises whatever the threads raise (``MemoryFault``, ``HangDetected``);
+    callers decide whether that is a crash under injection or a kernel bug.
+    """
+    while True:
+        progressed = False
+        for thread in threads:
+            if thread.state is ThreadState.RUNNING:
+                thread.run_until_block()
+                progressed = True
+        waiting = [t for t in threads if t.state is ThreadState.AT_BARRIER]
+        if waiting:
+            for thread in waiting:
+                thread.state = ThreadState.RUNNING
+            continue
+        if all(t.state is ThreadState.EXITED for t in threads):
+            return
+        if not progressed:  # pragma: no cover - defensive; unreachable by design
+            raise AssertionError("CTA scheduler made no progress")

@@ -1,0 +1,73 @@
+"""Injection specifications consumed by the interpreter.
+
+Defined at the GPU layer (the interpreter executes them); the
+fault-injection layer re-exports them as :mod:`repro.faults.model`
+with the reliability-methodology documentation.
+"""
+
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultModel(enum.Enum):
+    VALUE = "iov"  # destination-register value (paper default)
+    STORE_ADDRESS = "ioa"  # store effective address
+    REGISTER_FILE = "rf"  # arbitrary register, arbitrary point
+
+
+@dataclass(frozen=True, slots=True)
+class InjectionSpec:
+    """A single-thread injection plan handed to the interpreter.
+
+    ``dyn_index`` counts issued dynamic instructions of the thread.
+    For ``VALUE`` the destination register of that instruction has ``bit``
+    flipped after the write; for ``STORE_ADDRESS`` the instruction must be
+    a store, whose effective address has ``bit`` flipped; for
+    ``REGISTER_FILE`` register ``reg`` has ``bit`` flipped immediately
+    *before* the instruction issues.
+    """
+
+    dyn_index: int
+    bit: int
+    model: FaultModel = FaultModel.VALUE
+    reg: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.model is FaultModel.REGISTER_FILE and self.reg is None:
+            raise ValueError("REGISTER_FILE injections need a register name")
+
+
+@dataclass(frozen=True, slots=True)
+class StoreAddressSite:
+    """An IOA fault site: one bit of one store's effective address."""
+
+    thread: int
+    dyn_index: int
+    bit: int
+
+    def spec(self) -> InjectionSpec:
+        return InjectionSpec(self.dyn_index, self.bit, FaultModel.STORE_ADDRESS)
+
+    def __str__(self) -> str:
+        return f"ioa:t{self.thread}/i{self.dyn_index}/b{self.bit}"
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterFileSite:
+    """An RF fault site: one bit of one register at one dynamic point."""
+
+    thread: int
+    dyn_index: int
+    reg: str
+    bit: int
+
+    def spec(self) -> InjectionSpec:
+        return InjectionSpec(
+            self.dyn_index, self.bit, FaultModel.REGISTER_FILE, reg=self.reg
+        )
+
+    def __str__(self) -> str:
+        return f"rf:t{self.thread}/i{self.dyn_index}/{self.reg}/b{self.bit}"

@@ -1,0 +1,118 @@
+"""The :class:`Instruction` encoding executed by the simulator.
+
+An instruction mirrors one PTXPlus line, e.g.::
+
+    @$p0.eq bra l0x228            Instruction("bra", guard=Guard(p0, "eq"), target="L1")
+    set.ne.s32 $p1, $r2, $r124    Instruction("set", S32, dest=p1, srcs=(r2, r124), cmp="ne")
+    mad.wide.u16 $r4, ...         Instruction("mad", U32, dest=r4, srcs=(a, b, c))
+
+Instructions are immutable; a :class:`~repro.gpu.program.Program` owns a
+tuple of them plus the label table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import CMP_OPS, DataType, Operand, Reg, opcode_exists
+
+#: Guard conditions test the predicate's *zero flag* only, mirroring the
+#: PTXPlus observation the paper leans on for bit-wise pruning: ``eq``
+#: executes when the zero flag is set, ``ne`` when it is clear.
+GUARD_CONDS = ("eq", "ne")
+
+
+@dataclass(frozen=True, slots=True)
+class Guard:
+    """A predication guard ``@$p0.eq`` / ``@$p0.ne``."""
+
+    reg: Reg
+    cond: str
+
+    def __post_init__(self) -> None:
+        if self.cond not in GUARD_CONDS:
+            raise ValueError(f"bad guard condition {self.cond!r}")
+        if not self.reg.is_pred:
+            raise ValueError(f"guard register {self.reg} is not a predicate")
+
+    def __str__(self) -> str:
+        return f"@{self.reg}.{self.cond}"
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction.
+
+    Attributes:
+        op: opcode key into :data:`repro.gpu.isa.OPCODES`.
+        dtype: operation type; determines the destination width used for
+            fault-site enumeration (``None`` for control instructions).
+        dest: destination register, or ``None``.
+        srcs: source operands (registers, immediates, specials, mem refs).
+        guard: optional predication guard.
+        target: branch-target label for ``bra``.
+        cmp: comparison operator for ``set``/``setp``.
+        label: optional label naming this instruction's location.
+    """
+
+    op: str
+    dtype: DataType | None = None
+    dest: Reg | None = None
+    srcs: tuple[Operand, ...] = field(default=())
+    guard: Guard | None = None
+    target: str | None = None
+    cmp: str | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not opcode_exists(self.op):
+            raise ValueError(f"unknown opcode {self.op!r}")
+        if self.cmp is not None and self.cmp not in CMP_OPS:
+            raise ValueError(f"unknown comparison {self.cmp!r}")
+
+    @property
+    def dest_width(self) -> int:
+        """Bits in the destination register (the paper's ``bit(t, i)``).
+
+        Instructions without a destination contribute zero fault sites.
+        A predicate destination is the 4-bit condition code regardless of
+        the operation type.
+        """
+        if self.dest is None:
+            return 0
+        if self.dest.is_pred:
+            return DataType.PRED.width
+        if self.dtype is None:
+            return 0
+        return self.dtype.width
+
+    def static_key(self) -> tuple:
+        """A structural identity key ignoring the label.
+
+        Two instructions with equal keys perform the same operation on the
+        same operands; instruction-wise pruning matches *sequences* of these
+        keys across threads.
+        """
+        return (self.op, self.dtype, self.dest, self.srcs, self.guard, self.cmp, self.target)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.label:
+            parts.append(f"{self.label}:")
+        if self.guard:
+            parts.append(str(self.guard))
+        mnemonic = self.op
+        if self.cmp:
+            mnemonic += f".{self.cmp}"
+        if self.dtype is not None:
+            mnemonic += str(self.dtype)
+        parts.append(mnemonic)
+        operands = []
+        if self.dest is not None:
+            operands.append(str(self.dest))
+        operands.extend(str(s) for s in self.srcs)
+        if self.target is not None:
+            operands.append(self.target)
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

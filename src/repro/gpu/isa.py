@@ -1,0 +1,198 @@
+"""Instruction-set definitions for the PTXPlus-flavoured functional ISA.
+
+The simulator executes a register-based, typed instruction set modelled on
+GPGPU-Sim's PTXPlus representation (the level at which the paper injects
+faults).  The pieces defined here are pure data:
+
+* :class:`DataType` — operation/operand types with their storage widths.
+  ``PRED`` is a 4-bit condition code (zero / sign / carry / overflow flags),
+  matching the PTXPlus predicate system the paper's bit-wise pruning stage
+  exploits (only the zero flag feeds branch conditions).
+* Operand kinds — :class:`Reg`, :class:`Imm`, :class:`Special`,
+  :class:`MemRef`, :class:`Param`.
+* The opcode catalogue (:data:`OPCODES`) with per-opcode arity used by the
+  static validator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DataType(enum.Enum):
+    """Operation data types, named after their PTX suffixes."""
+
+    U16 = "u16"
+    U32 = "u32"
+    S32 = "s32"
+    U64 = "u64"
+    S64 = "s64"
+    F32 = "f32"
+    F64 = "f64"
+    PRED = "pred"
+
+    # width / is_float / is_signed are plain attributes assigned right
+    # after the class body (see below): the interpreter touches them on
+    # every dynamic instruction, so they must not go through properties.
+    width: int
+    is_float: bool
+    is_signed: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f".{self.value}"
+
+
+_WIDTHS = {
+    DataType.U16: 16,
+    DataType.U32: 32,
+    DataType.S32: 32,
+    DataType.U64: 64,
+    DataType.S64: 64,
+    DataType.F32: 32,
+    DataType.F64: 64,
+    DataType.PRED: 4,
+}
+
+for _dt in DataType:
+    _dt.width = _WIDTHS[_dt]
+    _dt.is_float = _dt in (DataType.F32, DataType.F64)
+    _dt.is_signed = _dt in (DataType.S32, DataType.S64)
+
+#: Predicate condition-code flag bit positions (PTXPlus 4-bit system).
+PRED_ZERO = 0
+PRED_SIGN = 1
+PRED_CARRY = 2
+PRED_OVERFLOW = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A general-purpose or predicate register, e.g. ``$r4`` / ``$p0``.
+
+    ``kind`` is ``"r"`` for general registers and ``"p"`` for predicate
+    (4-bit condition code) registers.
+    """
+
+    name: str
+    kind: str = "r"
+
+    @property
+    def is_pred(self) -> bool:
+        return self.kind == "p"
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An immediate (literal) operand."""
+
+    value: int | float
+
+    def __str__(self) -> str:
+        if isinstance(self.value, float):
+            return repr(self.value)
+        return f"0x{self.value:08x}" if self.value >= 0 else str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Special:
+    """A read-only special register: ``tid.x``, ``ctaid.y``, ``ntid.x``, ...
+
+    ``name`` is one of ``tid``/``ntid``/``ctaid``/``nctaid`` and ``axis``
+    one of ``x``/``y``/``z``.
+    """
+
+    name: str
+    axis: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}.{self.axis}"
+
+
+@dataclass(frozen=True, slots=True)
+class MemRef:
+    """A memory operand ``[base + offset]`` in ``global`` or ``shared`` space."""
+
+    space: str
+    base: Reg | None
+    offset: int = 0
+
+    def __str__(self) -> str:
+        inner = f"{self.base}+{self.offset:#x}" if self.base else f"{self.offset:#x}"
+        return f"{self.space}[{inner}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    """A kernel-parameter slot, PTXPlus style ``s[offset]``."""
+
+    offset: int
+
+    def __str__(self) -> str:
+        return f"s[{self.offset:#06x}]"
+
+
+Operand = Reg | Imm | Special | MemRef | Param
+
+#: Comparison operators accepted by ``set`` / ``setp`` / guarded branches.
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: opcode -> (number of source operands, has destination)
+OPCODES: dict[str, tuple[int, bool]] = {
+    # data movement
+    "mov": (1, True),
+    "cvt": (1, True),
+    "ld": (1, True),  # src is a MemRef/Param
+    "st": (2, False),  # srcs are (MemRef, value)
+    # integer / float arithmetic
+    "add": (2, True),
+    "sub": (2, True),
+    "mul": (2, True),
+    "mul.wide": (2, True),
+    "mad": (3, True),
+    "div": (2, True),
+    "rem": (2, True),
+    "min": (2, True),
+    "max": (2, True),
+    "neg": (1, True),
+    "abs": (1, True),
+    "rcp": (1, True),
+    "sqrt": (1, True),
+    "ex2": (1, True),
+    "lg2": (1, True),
+    "fma": (3, True),
+    # logic / shift
+    "and": (2, True),
+    "or": (2, True),
+    "xor": (2, True),
+    "not": (1, True),
+    "shl": (2, True),
+    "shr": (2, True),
+    # compare / select
+    "set": (2, True),  # dest may be a predicate or a general register
+    "setp": (2, True),
+    "slct": (3, True),  # slct d, a, b, c : d = a if c >= 0 else b
+    "selp": (3, True),  # selp d, a, b, p : d = a if p.zero else b
+    # control
+    "bra": (0, False),
+    "bar.sync": (0, False),
+    "ssy": (0, False),  # reconvergence hint; functional no-op
+    "nop": (0, False),
+    "exit": (0, False),
+    "retp": (0, False),
+}
+
+
+def opcode_exists(op: str) -> bool:
+    return op in OPCODES
+
+
+def opcode_has_dest(op: str) -> bool:
+    return OPCODES[op][1]
+
+
+def opcode_arity(op: str) -> int:
+    return OPCODES[op][0]

@@ -1,0 +1,155 @@
+"""Simulated memory spaces.
+
+Three spaces exist, mirroring what the workloads need:
+
+* **global** — byte-addressed heap shared by all CTAs.  Allocations are
+  tracked so that an access outside every live allocation raises
+  :class:`~repro.errors.MemoryFault`, which the injector classifies as a
+  crash (the hardware analogue of an MMU/Xid fault).
+* **shared** — per-CTA scratchpad of a size declared by the program.
+* **param** — the read-only kernel-parameter block (PTXPlus ``s[...]``).
+
+All values are stored little-endian.  Loads and stores move 2, 4 or 8 bytes
+depending on the instruction data type; floats are bit-cast via
+:mod:`struct`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import MemoryFault
+from .isa import DataType
+
+#: First valid global address; keeps small corrupted pointers (e.g. 0) faulting.
+GLOBAL_BASE = 0x1000
+
+_INT_FORMATS = {16: "<H", 32: "<I", 64: "<Q"}
+_FLOAT_FORMATS = {DataType.F32: "<f", DataType.F64: "<d"}
+
+
+def encode_value(value: int | float, dtype: DataType) -> bytes:
+    """Encode a register value into its little-endian memory image."""
+    if dtype.is_float:
+        return struct.pack(_FLOAT_FORMATS[dtype], value)
+    width = dtype.width
+    mask = (1 << width) - 1
+    return struct.pack(_INT_FORMATS[width], int(value) & mask)
+
+
+def decode_value(raw: bytes, dtype: DataType) -> int | float:
+    """Decode a little-endian memory image into a register value."""
+    if dtype.is_float:
+        return struct.unpack(_FLOAT_FORMATS[dtype], raw)[0]
+    value = int.from_bytes(raw, "little")
+    if dtype.is_signed:
+        sign_bit = 1 << (dtype.width - 1)
+        if value & sign_bit:
+            value -= 1 << dtype.width
+    return value
+
+
+class GlobalMemory:
+    """The device heap with allocation tracking and write logging.
+
+    The write log is the mechanism behind the injector's CTA-sliced fast
+    path: a faulty CTA re-executes against a copy of the *initial* heap, and
+    its logged writes are overlaid onto the golden final heap.
+    """
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self._data = bytearray(size)
+        self._allocations: list[tuple[int, int]] = []
+        self._next = GLOBAL_BASE
+        self.write_log: list[tuple[int, bytes]] | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` and return the base address."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        base = self._next
+        end = base + nbytes
+        if end > len(self._data):
+            raise MemoryError("simulated heap exhausted")
+        self._allocations.append((base, nbytes))
+        self._next = (end + 0xFF) & ~0xFF  # 256-byte alignment between buffers
+        return base
+
+    def _check(self, address: int, size: int) -> None:
+        for base, nbytes in self._allocations:
+            if base <= address and address + size <= base + nbytes:
+                return
+        raise MemoryFault("global", address, size)
+
+    def load(self, address: int, dtype: DataType) -> int | float:
+        size = dtype.width // 8
+        self._check(address, size)
+        return decode_value(bytes(self._data[address : address + size]), dtype)
+
+    def store(self, address: int, value: int | float, dtype: DataType) -> None:
+        raw = encode_value(value, dtype)
+        self._check(address, len(raw))
+        self._data[address : address + len(raw)] = raw
+        if self.write_log is not None:
+            self.write_log.append((address, raw))
+
+    def read_bytes(self, address: int, nbytes: int) -> bytes:
+        self._check(address, nbytes)
+        return bytes(self._data[address : address + nbytes])
+
+    def write_bytes(self, address: int, raw: bytes) -> None:
+        self._check(address, len(raw))
+        self._data[address : address + len(raw)] = raw
+        if self.write_log is not None:
+            self.write_log.append((address, bytes(raw)))
+
+    def snapshot(self) -> "GlobalMemory":
+        """An independent copy sharing the allocation map (write log cleared)."""
+        clone = GlobalMemory.__new__(GlobalMemory)
+        clone._data = bytearray(self._data)
+        clone._allocations = list(self._allocations)
+        clone._next = self._next
+        clone.write_log = None
+        return clone
+
+    def apply_writes(self, writes: list[tuple[int, bytes]]) -> None:
+        """Replay a write log onto this heap (bounds re-checked)."""
+        for address, raw in writes:
+            self._check(address, len(raw))
+            self._data[address : address + len(raw)] = raw
+
+
+class SharedMemory:
+    """Per-CTA scratchpad; out-of-range accesses crash like global ones."""
+
+    def __init__(self, nbytes: int) -> None:
+        self._data = bytearray(nbytes)
+
+    def load(self, address: int, dtype: DataType) -> int | float:
+        size = dtype.width // 8
+        if address < 0 or address + size > len(self._data):
+            raise MemoryFault("shared", address, size)
+        return decode_value(bytes(self._data[address : address + size]), dtype)
+
+    def store(self, address: int, value: int | float, dtype: DataType) -> None:
+        raw = encode_value(value, dtype)
+        if address < 0 or address + len(raw) > len(self._data):
+            raise MemoryFault("shared", address, len(raw))
+        self._data[address : address + len(raw)] = raw
+
+
+class ParamMemory:
+    """The read-only kernel-parameter block, 4-byte slots."""
+
+    def __init__(self, raw: bytes) -> None:
+        self._data = bytes(raw)
+
+    def load(self, offset: int, dtype: DataType) -> int | float:
+        size = dtype.width // 8
+        if offset < 0 or offset + size > len(self._data):
+            raise MemoryFault("param", offset, size)
+        return decode_value(self._data[offset : offset + size], dtype)

@@ -1,0 +1,26 @@
+"""Packing host values into kernel-parameter blocks."""
+
+from __future__ import annotations
+
+from ..errors import SimulatorError
+from .isa import DataType
+from .memory import encode_value
+
+
+def pack_params(
+    layout: tuple[tuple[str, DataType], ...],
+    values: dict[str, int | float],
+) -> bytes:
+    """Pack named values into the 4-byte-slot parameter block of a kernel.
+
+    ``layout`` comes from :attr:`KernelBuilder.param_layout`; every declared
+    parameter must be supplied, and no extras are allowed — mismatches are
+    authoring bugs, caught loudly.
+    """
+    missing = [name for name, _ in layout if name not in values]
+    if missing:
+        raise SimulatorError(f"missing kernel parameters: {missing}")
+    extra = set(values) - {name for name, _ in layout}
+    if extra:
+        raise SimulatorError(f"unknown kernel parameters: {sorted(extra)}")
+    return b"".join(encode_value(values[name], dtype) for name, dtype in layout)

@@ -1,0 +1,208 @@
+"""Kernel launches over the functional GPU model.
+
+:class:`GPUSimulator` owns the device heap and launches programs over a
+(grid, block) geometry, executing CTAs sequentially (CTAs within one launch
+cannot communicate, per the CUDA execution model, so sequential order is
+exact).  It exposes the three facilities the fault-injection layer builds
+on:
+
+* **golden runs** with per-thread dynamic traces and per-CTA write logs;
+* **sliced runs** (``only_cta=``) that re-execute a single CTA against a
+  heap snapshot — the injector's fast path;
+* **injected runs** that flip one destination-register bit in one dynamic
+  instruction of one thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultInjectionError, SimulatorError
+from .cta import run_cta
+from .memory import GlobalMemory, ParamMemory, SharedMemory
+from .program import Program
+from .thread import ThreadContext
+from .tracing import ThreadTrace
+
+#: Generous per-thread budget for golden runs; catches authoring bugs only.
+DEFAULT_MAX_STEPS = 1_000_000
+
+Dim2 = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Grid and block dimensions (x, y) of a kernel launch."""
+
+    grid: Dim2
+    block: Dim2
+
+    @property
+    def n_ctas(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def threads_per_cta(self) -> int:
+        return self.block[0] * self.block[1]
+
+    @property
+    def n_threads(self) -> int:
+        return self.n_ctas * self.threads_per_cta
+
+    def cta_of_thread(self, thread_id: int) -> int:
+        return thread_id // self.threads_per_cta
+
+    def specials_for(self, cta: int, slot: int) -> dict[tuple[str, str], int]:
+        gx, _gy = self.grid
+        bx, _by = self.block
+        return {
+            ("tid", "x"): slot % bx,
+            ("tid", "y"): slot // bx,
+            ("tid", "z"): 0,
+            ("ntid", "x"): self.block[0],
+            ("ntid", "y"): self.block[1],
+            ("ntid", "z"): 1,
+            ("ctaid", "x"): cta % gx,
+            ("ctaid", "y"): cta // gx,
+            ("ctaid", "z"): 0,
+            ("nctaid", "x"): self.grid[0],
+            ("nctaid", "y"): self.grid[1],
+            ("nctaid", "z"): 1,
+        }
+
+
+@dataclass
+class LaunchResult:
+    """Artifacts of one launch."""
+
+    geometry: LaunchGeometry
+    traces: list[ThreadTrace] | None
+    cta_write_logs: list[list[tuple[int, bytes]]] | None
+    injection_applied: bool
+
+
+class GPUSimulator:
+    """Device state plus the launch entry point."""
+
+    def __init__(self, heap_bytes: int = 1 << 20) -> None:
+        self.memory = GlobalMemory(heap_bytes)
+
+    # ------------------------------------------------------------- buffers
+
+    def alloc_array(self, array: np.ndarray) -> int:
+        """Copy a host array to a fresh device buffer; returns its address."""
+        raw = np.ascontiguousarray(array).tobytes()
+        base = self.memory.alloc(len(raw))
+        self.memory.write_bytes(base, raw)
+        return base
+
+    def alloc_zeros(self, nbytes: int) -> int:
+        return self.memory.alloc(nbytes)
+
+    def read_array(self, base: int, dtype: np.dtype, count: int) -> np.ndarray:
+        nbytes = int(np.dtype(dtype).itemsize) * count
+        return np.frombuffer(self.memory.read_bytes(base, nbytes), dtype=dtype).copy()
+
+    # -------------------------------------------------------------- launch
+
+    def launch(
+        self,
+        program: Program,
+        geometry: LaunchGeometry,
+        param_bytes: bytes,
+        *,
+        memory: GlobalMemory | None = None,
+        record_traces: bool = False,
+        record_write_logs: bool = False,
+        only_cta: int | None = None,
+        injection: tuple | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> LaunchResult:
+        """Run ``program`` over ``geometry``.
+
+        Args:
+            param_bytes: packed kernel-parameter block.
+            memory: heap to run against (defaults to the simulator's own).
+            only_cta: execute just this CTA (the injection fast path).
+            injection: either the legacy ``(global_thread_id, dyn_index,
+                bit)`` destination-value flip, or ``(global_thread_id,
+                InjectionSpec)`` for the extended fault models.
+            max_steps: per-thread dynamic-instruction budget; exceeded →
+                :class:`~repro.errors.HangDetected` propagates to the caller.
+        """
+        if len(param_bytes) != program.param_bytes:
+            raise SimulatorError(
+                f"{program.name}: expected {program.param_bytes} param bytes, "
+                f"got {len(param_bytes)}"
+            )
+        heap = memory if memory is not None else self.memory
+        param_mem = ParamMemory(param_bytes)
+        injection_thread = None
+        injection_spec = None
+        if injection is not None:
+            if len(injection) == 3:
+                injection_thread = injection[0]
+                injection_spec = (injection[1], injection[2])
+            else:
+                injection_thread, injection_spec = injection
+        tpc = geometry.threads_per_cta
+        ctas = range(geometry.n_ctas) if only_cta is None else (only_cta,)
+        if only_cta is not None and not 0 <= only_cta < geometry.n_ctas:
+            raise SimulatorError(f"CTA {only_cta} outside grid")
+
+        traces: list[ThreadTrace] | None = None
+        trace_map: dict[int, ThreadTrace] = {}
+        write_logs: list[list[tuple[int, bytes]]] | None = (
+            [[] for _ in range(geometry.n_ctas)] if record_write_logs else None
+        )
+        injection_applied = False
+
+        for cta in ctas:
+            shared = SharedMemory(program.shared_bytes) if program.shared_bytes else None
+            threads = []
+            for slot in range(tpc):
+                thread_id = cta * tpc + slot
+                thread_injection = None
+                if injection_thread == thread_id:
+                    thread_injection = injection_spec
+                threads.append(
+                    ThreadContext(
+                        program,
+                        geometry.specials_for(cta, slot),
+                        heap,
+                        shared,
+                        param_mem,
+                        max_steps=max_steps,
+                        record_trace=record_traces,
+                        injection=thread_injection,
+                    )
+                )
+            if write_logs is not None:
+                heap.write_log = write_logs[cta]
+            try:
+                run_cta(threads)
+            finally:
+                heap.write_log = None
+            for slot, thread in enumerate(threads):
+                if record_traces:
+                    trace_map[cta * tpc + slot] = thread.trace  # type: ignore[assignment]
+                if injection_thread == cta * tpc + slot:
+                    injection_applied = thread.injection is None
+
+        if injection_thread is not None and only_cta is None:
+            owner = geometry.cta_of_thread(injection_thread)
+            if owner not in ctas:  # pragma: no cover - defensive
+                raise FaultInjectionError("injection thread outside launched CTAs")
+        if record_traces:
+            if only_cta is None:
+                traces = [trace_map[t] for t in range(geometry.n_threads)]
+            else:
+                traces = [trace_map[t] for t in sorted(trace_map)]
+        return LaunchResult(
+            geometry=geometry,
+            traces=traces,
+            cta_write_logs=write_logs,
+            injection_applied=injection_applied,
+        )

@@ -1,0 +1,313 @@
+"""Per-thread functional execution.
+
+A :class:`ThreadContext` interprets the program for one thread, running
+until it blocks at a barrier, exits, or exceeds its dynamic-instruction
+budget (:class:`~repro.errors.HangDetected`).  The CTA scheduler in
+:mod:`~repro.gpu.cta` interleaves threads at barrier granularity, which is
+exact for data-race-free kernels.
+
+Fault injection hooks in here: when ``injection=(dyn_index, bit)`` is set,
+the destination register of the dynamic instruction with that issue index
+has one bit flipped immediately after the instruction writes it — the
+paper's single-bit-flip model for soft errors in functional-unit outputs.
+
+The interpreter runs off :meth:`Program.decoded` — pre-decoded tuples with
+labels resolved, widths precomputed and executors bound — and keeps the
+hot loop monolithic; fault-injection campaigns execute this loop tens of
+millions of times.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ExecutionFault, HangDetected
+from .injection import FaultModel, InjectionSpec
+from .alu import compare, condition_code, to_int, _exec_set_general
+from .isa import DataType, Imm, MemRef, Param, Reg, Special
+from .memory import GlobalMemory, ParamMemory, SharedMemory
+from .program import Program
+from .registers import RegisterFile, flip_bit
+from .tracing import ThreadTrace
+
+
+def _normalize_injection(injection) -> InjectionSpec | None:
+    """Accept the legacy ``(dyn_index, bit)`` tuple or a full spec."""
+    if injection is None or isinstance(injection, InjectionSpec):
+        return injection
+    dyn_index, bit = injection
+    return InjectionSpec(dyn_index, bit)
+
+
+class ThreadState(enum.Enum):
+    RUNNING = "running"
+    AT_BARRIER = "at_barrier"
+    EXITED = "exited"
+
+
+#: Opcode groups the interpreter special-cases outside the ALU table.
+_CONTROL = frozenset(("nop", "ssy"))
+_EXITS = frozenset(("exit", "retp"))
+
+
+class ThreadContext:
+    """Architectural state and interpreter loop for a single thread."""
+
+    __slots__ = (
+        "program",
+        "regs",
+        "pc",
+        "state",
+        "dyn_count",
+        "max_steps",
+        "trace",
+        "injection",
+        "specials",
+        "global_mem",
+        "shared_mem",
+        "param_mem",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        specials: dict[tuple[str, str], int],
+        global_mem: GlobalMemory,
+        shared_mem: SharedMemory | None,
+        param_mem: ParamMemory,
+        max_steps: int,
+        record_trace: bool = False,
+        injection: tuple[int, int] | InjectionSpec | None = None,
+    ) -> None:
+        self.program = program
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.state = ThreadState.RUNNING
+        self.dyn_count = 0
+        self.max_steps = max_steps
+        self.trace: ThreadTrace | None = [] if record_trace else None
+        self.injection = _normalize_injection(injection)
+        self.specials = specials
+        self.global_mem = global_mem
+        self.shared_mem = shared_mem
+        self.param_mem = param_mem
+
+    # ------------------------------------------------------------------ run
+
+    def run_until_block(self) -> None:
+        """Execute until a barrier, thread exit, or the hang budget trips."""
+        decoded = self.program.decoded()
+        end = len(decoded)
+        regs = self.regs.values
+        specials = self.specials
+        global_mem = self.global_mem
+        shared_mem = self.shared_mem
+        param_mem = self.param_mem
+        trace = self.trace
+        max_steps = self.max_steps
+        injection = self.injection
+        # Injection plan, unpacked per model so the hot loop pays one int
+        # comparison for inactive modes.
+        inject_at = -1  # VALUE: flip dest after the write at this index
+        store_at = -1  # STORE_ADDRESS: xor the effective address
+        rf_at = -1  # REGISTER_FILE: flip a register before issue
+        inject_bit = 0
+        rf_reg = None
+        if injection is not None:
+            inject_bit = injection.bit
+            if injection.model is FaultModel.VALUE:
+                inject_at = injection.dyn_index
+            elif injection.model is FaultModel.STORE_ADDRESS:
+                store_at = injection.dyn_index
+            else:
+                rf_at = injection.dyn_index
+                rf_reg = injection.reg
+        consumed = False
+        pc = self.pc
+        dyn = self.dyn_count
+
+        try:
+            while True:
+                if pc >= end:
+                    self.state = ThreadState.EXITED
+                    return
+                if dyn >= max_steps:
+                    raise HangDetected(
+                        f"thread exceeded {max_steps} dynamic instructions"
+                    )
+                (
+                    op, dtype, dest_name, dest_is_pred, width,
+                    srcs, guard, target, cmp, executor,
+                ) = decoded[pc]
+
+                if dyn == rf_at:
+                    # Register-file upset: strikes between instructions,
+                    # regardless of predication.
+                    regs[rf_reg] = _flip_register_value(
+                        regs.get(rf_reg, 0), inject_bit
+                    )
+                    rf_at = -1
+                    consumed = True
+
+                if guard is not None:
+                    zero = to_int(regs.get(guard[0], 0)) & 1
+                    executed = (zero == 1) if guard[1] else (zero == 0)
+                    if not executed:
+                        if trace is not None:
+                            trace.append((pc, 0))
+                        dyn += 1
+                        pc += 1
+                        continue
+
+                if trace is not None:
+                    trace.append((pc, width))
+                dyn_index = dyn
+                dyn += 1
+
+                if executor is not None:
+                    # Plain ALU operation (the common case).
+                    values = [
+                        regs.get(s.name, 0) if type(s) is Reg
+                        else s.value if type(s) is Imm
+                        else specials[(s.name, s.axis)] if type(s) is Special
+                        else param_mem.load(s.offset, dtype)
+                        for s in srcs
+                    ]
+                    value = executor(dtype, *values)
+                    if dest_is_pred:
+                        value = to_int(value) & 0xF
+                    regs[dest_name] = value
+                    if dyn_index == inject_at:
+                        self._flip_dest(regs, dest_name, dest_is_pred, dtype, inject_bit)
+                        inject_at = -1
+                        consumed = True
+                    pc += 1
+                    continue
+
+                if op == "bra":
+                    pc = target
+                    continue
+                if op == "ld":
+                    value = self._load(regs, srcs[0], dtype)
+                    if dest_is_pred:
+                        value = to_int(value) & 0xF
+                    regs[dest_name] = value
+                    if dyn_index == inject_at:
+                        self._flip_dest(regs, dest_name, dest_is_pred, dtype, inject_bit)
+                        inject_at = -1
+                        consumed = True
+                    pc += 1
+                    continue
+                if op == "st":
+                    addr_xor = 0
+                    if dyn_index == store_at:
+                        addr_xor = 1 << inject_bit
+                        store_at = -1
+                        consumed = True
+                    self._store(
+                        regs, srcs[0], self._value(regs, srcs[1], dtype), dtype,
+                        addr_xor,
+                    )
+                    pc += 1
+                    continue
+                if op in ("set", "setp"):
+                    a = self._value(regs, srcs[0], dtype)
+                    b = self._value(regs, srcs[1], dtype)
+                    if dest_is_pred:
+                        value = condition_code(cmp, dtype, a, b)
+                    else:
+                        value = _exec_set_general(dtype, cmp, a, b)
+                    regs[dest_name] = value
+                    if dyn_index == inject_at:
+                        self._flip_dest(regs, dest_name, dest_is_pred, dtype, inject_bit)
+                        inject_at = -1
+                        consumed = True
+                    pc += 1
+                    continue
+                if op == "selp":
+                    pred = srcs[2]
+                    if not (type(pred) is Reg and pred.is_pred):
+                        raise ExecutionFault("selp selector must be a predicate register")
+                    zero = to_int(regs.get(pred.name, 0)) & 1
+                    chosen = srcs[0] if zero else srcs[1]
+                    value = self._value(regs, chosen, dtype)
+                    if dest_is_pred:
+                        value = to_int(value) & 0xF
+                    regs[dest_name] = value
+                    if dyn_index == inject_at:
+                        self._flip_dest(regs, dest_name, dest_is_pred, dtype, inject_bit)
+                        inject_at = -1
+                        consumed = True
+                    pc += 1
+                    continue
+                if op == "bar.sync":
+                    self.state = ThreadState.AT_BARRIER
+                    pc += 1
+                    return
+                if op in _EXITS:
+                    self.state = ThreadState.EXITED
+                    pc += 1
+                    return
+                if op in _CONTROL:
+                    pc += 1
+                    continue
+                raise ExecutionFault(f"unhandled opcode {op!r}")  # pragma: no cover
+        finally:
+            self.pc = pc
+            self.dyn_count = dyn
+            if consumed:
+                self.injection = None
+
+    # ------------------------------------------------------------- operands
+
+    def _value(self, regs, operand, dtype: DataType):
+        kind = type(operand)
+        if kind is Reg:
+            return regs.get(operand.name, 0)
+        if kind is Imm:
+            return operand.value
+        if kind is Special:
+            return self.specials[(operand.name, operand.axis)]
+        if kind is Param:
+            return self.param_mem.load(operand.offset, dtype)
+        raise ExecutionFault(f"operand {operand!r} not readable here")
+
+    def _load(self, regs, operand, dtype: DataType):
+        if type(operand) is Param:
+            return self.param_mem.load(operand.offset, dtype)
+        if type(operand) is MemRef:
+            address = operand.offset
+            if operand.base is not None:
+                address += to_int(regs.get(operand.base.name, 0))
+            if operand.space == "shared":
+                return self.shared_mem.load(address, dtype)  # type: ignore[union-attr]
+            return self.global_mem.load(address, dtype)
+        raise ExecutionFault(f"ld source {operand!r} is not a memory operand")
+
+    def _store(self, regs, operand, value, dtype: DataType, addr_xor: int = 0) -> None:
+        if type(operand) is not MemRef:
+            raise ExecutionFault(f"st target {operand!r} is not a memory operand")
+        address = operand.offset
+        if operand.base is not None:
+            address += to_int(regs.get(operand.base.name, 0))
+        address ^= addr_xor  # STORE_ADDRESS fault model (no-op when 0)
+        if operand.space == "shared":
+            self.shared_mem.store(address, value, dtype)  # type: ignore[union-attr]
+        else:
+            self.global_mem.store(address, value, dtype)
+
+    def _flip_dest(self, regs, dest_name, dest_is_pred, dtype, bit: int) -> None:
+        flip_type = DataType.PRED if dest_is_pred else dtype
+        regs[dest_name] = flip_bit(regs[dest_name], flip_type, bit)
+
+
+def _flip_register_value(value, bit: int):
+    """Register-file upset on a dynamically typed register.
+
+    Float-valued registers flip in their IEEE-754 single image; integer
+    registers flip as 32-bit cells (the RF model targets the 32-bit
+    architected register file, so bits are restricted to [0, 32)).
+    """
+    if isinstance(value, float):
+        return flip_bit(value, DataType.F32, bit)
+    return flip_bit(value, DataType.U32, bit)

@@ -1,0 +1,37 @@
+"""Workload substrate: the paper's 11 applications (17 kernels).
+
+Importing this package registers every kernel; registration order follows
+the paper's Table I (Rodinia first, then Polybench), with NN appended
+(it appears in Table VII only).
+"""
+
+from .registry import (
+    KernelInstance,
+    KernelSpec,
+    OutputBuffer,
+    all_kernels,
+    get_kernel,
+    load_instance,
+)
+
+# Table I order.
+from . import hotspot  # noqa: F401  (K1)
+from . import kmeans  # noqa: F401  (K1, K2)
+from . import gaussian  # noqa: F401  (K1, K2, K125, K126)
+from . import pathfinder  # noqa: F401  (K1)
+from . import lud  # noqa: F401  (K44, K45, K46)
+from . import conv2d  # noqa: F401  (K1)
+from . import mvt  # noqa: F401  (K1)
+from . import mm2  # noqa: F401  (K1)
+from . import gemm  # noqa: F401  (K1)
+from . import syrk  # noqa: F401  (K1)
+from . import nn  # noqa: F401  (K1, Table VII only)
+
+__all__ = [
+    "KernelInstance",
+    "KernelSpec",
+    "OutputBuffer",
+    "all_kernels",
+    "get_kernel",
+    "load_instance",
+]

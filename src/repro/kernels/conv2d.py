@@ -1,0 +1,132 @@
+"""2DCONV — Polybench ``Convolution2D_kernel`` (K1).
+
+A 3x3 stencil over an ``NI x NJ`` image.  Only interior threads
+(``0 < i < NI-1`` and ``0 < j < NJ-1``) compute; the two bound checks are
+evaluated sequentially with early-exit branches, which is what produces the
+small iCnt classes for border threads that Table III keys on (the paper
+observes groups {11, 13, 15, 48}; ours are structurally analogous).
+
+Scaling: paper runs 8192 threads over a large image; we run a 24x24 image
+with 8x8 CTAs (576 threads, 9 CTAs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_xy, f32_mad, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+NI = 24
+NJ = 24
+BLOCK = (8, 8)
+GRID = (NI // BLOCK[0], NJ // BLOCK[1])
+SEED = 0x2DC0
+
+#: Stencil coefficients from the Polybench source.
+COEFFS = (
+    (+0.2, -0.3, +0.4),
+    (-0.5, +0.6, -0.7),
+    (-0.8, -0.9, +0.10),
+)
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("Convolution2D_kernel")
+    a_ptr, b_ptr = k.params("a", "b")
+    r = k.regs("i", "j", "t", "addr", "acc", "val", "base")
+    p = k.pred("p0")
+
+    emit_global_xy(k, r.j, r.i, r.t)
+
+    # Early exits: first the j (x) bounds, then the i (y) bounds — two
+    # distinct short paths, like the PTXPlus the paper profiles.
+    done = k.fresh_label()
+    k.set("lt", "u32", p, r.j, 1)
+    k.bra(done, guard=(p, "eq"))
+    k.set("ge", "u32", p, r.j, NJ - 1)
+    k.bra(done, guard=(p, "eq"))
+    k.set("lt", "u32", p, r.i, 1)
+    k.bra(done, guard=(p, "eq"))
+    k.set("ge", "u32", p, r.i, NI - 1)
+    k.bra(done, guard=(p, "eq"))
+
+    # base = a + 4 * ((i-1) * NJ + (j-1)): address of the top-left tap.
+    k.sub("u32", r.base, r.i, 1)
+    k.mul("u32", r.base, r.base, NJ)
+    k.add("u32", r.base, r.base, r.j)
+    k.sub("u32", r.base, r.base, 1)
+    k.shl("u32", r.base, r.base, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.base, r.base, r.t)
+
+    k.mov("f32", r.acc, 0.0)
+    for di, row in enumerate(COEFFS):
+        for dj, coeff in enumerate(row):
+            offset = 4 * (di * NJ + dj)
+            k.ld("f32", r.val, k.global_ref(r.base, offset))
+            k.mov("f32", r.t, float(np.float32(coeff)))
+            k.mad_op("f32", r.acc, r.val, r.t, r.acc)
+
+    # b[i * NJ + j] = acc
+    k.mul("u32", r.addr, r.i, NJ)
+    k.add("u32", r.addr, r.addr, r.j)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.ld("u32", r.t, b_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    k.st("f32", k.global_ref(r.addr), r.acc)
+
+    k.label(done)
+    k.retp()
+    return k
+
+
+def reference(a: np.ndarray) -> np.ndarray:
+    """Float32 reference with the kernel's exact accumulation order."""
+    b = np.zeros((NI, NJ), dtype=np.float32)
+    coeffs = np.array(COEFFS, dtype=np.float32)
+    for i in range(1, NI - 1):
+        for j in range(1, NJ - 1):
+            acc = np.float32(0.0)
+            for di in range(3):
+                for dj in range(3):
+                    acc = f32_mad(a[i - 1 + di, j - 1 + dj], coeffs[di, dj], acc)
+            b[i, j] = acc
+    return b
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    a = float_inputs(rng, (NI, NJ))
+
+    sim = GPUSimulator()
+    a_addr = sim.alloc_array(a)
+    b_addr = sim.alloc_zeros(NI * NJ * 4)
+    params = pack_params(k.param_layout, {"a": a_addr, "b": b_addr})
+    geometry = LaunchGeometry(grid=GRID, block=BLOCK)
+    return KernelInstance(
+        spec=None,  # filled by KernelSpec.build
+        program=program,
+        geometry=geometry,
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("b", b_addr, np.dtype(np.float32), NI * NJ),),
+        reference={"b": reference(a)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Polybench",
+        app="2DCONV",
+        kernel_name="Convolution2D_kernel",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=8192,
+        paper_fault_sites=6.32e6,
+        scaling_note=f"image {NI}x{NJ}, {GRID[0] * GRID[1]} CTAs of {BLOCK[0] * BLOCK[1]} threads",
+    )
+)

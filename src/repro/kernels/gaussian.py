@@ -1,0 +1,251 @@
+"""Gaussian Elimination — Rodinia ``Fan1``/``Fan2`` at two pivot steps.
+
+``Fan1`` (1-D) computes the multiplier column for pivot step ``t``;
+``Fan2`` (2-D) applies the row updates.  The paper injects into the first
+dynamic invocation (K1/K2, step 0) and a late one (K125/K126), where far
+fewer threads are active — the thread-group mix shifts accordingly, which
+is exactly what thread-wise pruning must track.
+
+Scaling: paper runs a 512-point system; ours is 24x24, with the late
+invocation at pivot step 20 (kernel ids keep the paper's K125/K126 names).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_tid_x, emit_global_xy, f32_div, f32_mul, f32_sub, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+SIZE = 24
+FAN1_BLOCK = (16, 1)
+FAN1_GRID = (2, 1)
+FAN2_BLOCK = (4, 4)
+FAN2_GRID = (SIZE // 4, SIZE // 4)
+LATE_STEP = 20
+SEED = 0x6755
+
+
+def build_fan1(step: int) -> KernelBuilder:
+    k = KernelBuilder(f"Fan1_t{step}")
+    m_ptr, a_ptr, size_p = k.params("m", "a", "size")
+    r = k.regs("gid", "t", "row", "addr", "base_a", "pivot", "val")
+
+    emit_global_tid_x(k, r.gid, r.t)
+    # if gid >= size - 1 - t: return
+    with k.if_lt("u32", r.gid, SIZE - 1 - step):
+        # row = gid + 1 + t; element (row, t) of both a and m.
+        k.add("u32", r.row, r.gid, 1 + step)
+        k.mul("u32", r.addr, r.row, SIZE)
+        k.add("u32", r.addr, r.addr, step)
+        k.shl("u32", r.addr, r.addr, 2)
+        k.ld("u32", r.base_a, a_ptr)
+        k.add("u32", r.base_a, r.base_a, r.addr)
+        k.ld("f32", r.val, k.global_ref(r.base_a))
+        # pivot = a[t][t]
+        k.ld("u32", r.t, a_ptr)
+        k.ld("f32", r.pivot, k.global_ref(r.t, 4 * (step * SIZE + step)))
+        k.div("f32", r.val, r.val, r.pivot)
+        k.ld("u32", r.t, m_ptr)
+        k.add("u32", r.addr, r.addr, r.t)
+        k.st("f32", k.global_ref(r.addr), r.val)
+    k.retp()
+    return k
+
+
+def build_fan2(step: int) -> KernelBuilder:
+    k = KernelBuilder(f"Fan2_t{step}")
+    m_ptr, a_ptr, b_ptr, size_p = k.params("m", "a", "b", "size")
+    r = k.regs(
+        "xidx", "yidx", "t", "row", "addr", "mult", "av", "pv", "addr_b", "bv"
+    )
+    p = k.pred("p0")
+
+    emit_global_xy(k, r.xidx, r.yidx, r.t)
+    done = k.fresh_label()
+    k.set("ge", "u32", p, r.xidx, SIZE - 1 - step)
+    k.bra(done, guard=(p, "eq"))
+    k.set("ge", "u32", p, r.yidx, SIZE - step)
+    k.bra(done, guard=(p, "eq"))
+
+    # row = xidx + 1 + t; mult = m[row][t]
+    k.add("u32", r.row, r.xidx, 1 + step)
+    k.mul("u32", r.addr, r.row, SIZE)
+    k.add("u32", r.addr, r.addr, step)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.ld("u32", r.t, m_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    k.ld("f32", r.mult, k.global_ref(r.addr))
+
+    # a[row][yidx + t] -= mult * a[t][yidx + t]  (Rodinia's +t column offset)
+    k.mul("u32", r.addr, r.row, SIZE)
+    k.add("u32", r.addr, r.addr, r.yidx)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    k.ld("f32", r.av, k.global_ref(r.addr, 4 * step))
+    # pv = a[t][yidx + t]
+    k.shl("u32", r.t, r.yidx, 2)
+    k.ld("u32", r.addr_b, a_ptr)
+    k.add("u32", r.t, r.t, r.addr_b)
+    k.ld("f32", r.pv, k.global_ref(r.t, 4 * (step * SIZE + step)))
+    k.mul("f32", r.pv, r.mult, r.pv)
+    k.sub("f32", r.av, r.av, r.pv)
+    k.st("f32", k.global_ref(r.addr, 4 * step), r.av)
+
+    # if yidx == 0: b[row] -= mult * b[t]
+    skip = k.fresh_label()
+    k.set("eq", "u32", p, r.yidx, 0)
+    k.bra(skip, guard=(p, "ne"))
+    k.ld("u32", r.addr_b, b_ptr)
+    k.ld("f32", r.bv, k.global_ref(r.addr_b, 4 * step))
+    k.mul("f32", r.bv, r.mult, r.bv)
+    k.shl("u32", r.t, r.row, 2)
+    k.add("u32", r.addr_b, r.addr_b, r.t)
+    k.ld("f32", r.av, k.global_ref(r.addr_b))
+    k.sub("f32", r.av, r.av, r.bv)
+    k.st("f32", k.global_ref(r.addr_b), r.av)
+    k.label(skip)
+    k.nop()
+
+    k.label(done)
+    k.retp()
+    return k
+
+
+def fan1_reference(a: np.ndarray, m: np.ndarray, step: int) -> np.ndarray:
+    out = m.copy()
+    for gid in range(SIZE - 1 - step):
+        row = gid + 1 + step
+        out[row, step] = f32_div(a[row, step], a[step, step])
+    return out
+
+
+def fan2_reference(
+    a: np.ndarray, b: np.ndarray, m: np.ndarray, step: int
+) -> tuple[np.ndarray, np.ndarray]:
+    out_a = a.copy()
+    out_b = b.copy()
+    for xidx in range(SIZE - 1 - step):
+        row = xidx + 1 + step
+        mult = m[row, step]
+        for yidx in range(SIZE - step):
+            col = yidx + step
+            out_a[row, col] = f32_sub(a[row, col], f32_mul(mult, a[step, col]))
+        out_b[row] = f32_sub(b[row], f32_mul(mult, b[step]))
+    return out_a, out_b
+
+
+def _stage_state(step: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """System state after ``step`` completed pivot rounds (Fan1 + Fan2)."""
+    rng = np.random.default_rng(SEED)
+    a = float_inputs(rng, (SIZE, SIZE), lo=0.5, hi=2.0)
+    a += np.eye(SIZE, dtype=np.float32) * np.float32(SIZE)  # diagonally dominant
+    b = float_inputs(rng, SIZE)
+    m = np.zeros((SIZE, SIZE), dtype=np.float32)
+    for t in range(step):
+        m = fan1_reference(a, m, t)
+        a, b = fan2_reference(a, b, m, t)
+    return a, b, m
+
+
+def _build_fan1_instance(step: int) -> KernelInstance:
+    k = build_fan1(step)
+    program = k.build()
+    a, _b, m = _stage_state(step)
+
+    sim = GPUSimulator()
+    m_addr = sim.alloc_array(m)
+    a_addr = sim.alloc_array(a)
+    params = pack_params(k.param_layout, {"m": m_addr, "a": a_addr, "size": SIZE})
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=FAN1_GRID, block=FAN1_BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("m", m_addr, np.dtype(np.float32), SIZE * SIZE),),
+        reference={"m": fan1_reference(a, m, step)},
+    )
+
+
+def _build_fan2_instance(step: int) -> KernelInstance:
+    k = build_fan2(step)
+    program = k.build()
+    a, b, m = _stage_state(step)
+    m = fan1_reference(a, m, step)  # Fan2 runs after the same step's Fan1
+
+    sim = GPUSimulator()
+    m_addr = sim.alloc_array(m)
+    a_addr = sim.alloc_array(a)
+    b_addr = sim.alloc_array(b)
+    params = pack_params(
+        k.param_layout, {"m": m_addr, "a": a_addr, "b": b_addr, "size": SIZE}
+    )
+    ref_a, ref_b = fan2_reference(a, b, m, step)
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=FAN2_GRID, block=FAN2_BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(
+            OutputBuffer("a", a_addr, np.dtype(np.float32), SIZE * SIZE),
+            OutputBuffer("b", b_addr, np.dtype(np.float32), SIZE),
+        ),
+        reference={"a": ref_a, "b": ref_b},
+    )
+
+
+SPEC_K1 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="Gaussian",
+        kernel_name="Fan1",
+        kernel_id="K1",
+        build_fn=lambda: _build_fan1_instance(0),
+        paper_threads=512,
+        paper_fault_sites=1.63e5,
+        scaling_note=f"{SIZE}-point system, pivot step 0",
+    )
+)
+
+SPEC_K2 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="Gaussian",
+        kernel_name="Fan2",
+        kernel_id="K2",
+        build_fn=lambda: _build_fan2_instance(0),
+        paper_threads=4096,
+        paper_fault_sites=4.92e6,
+        scaling_note=f"{SIZE}-point system, pivot step 0",
+    )
+)
+
+SPEC_K125 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="Gaussian",
+        kernel_name="Fan1",
+        kernel_id="K125",
+        build_fn=lambda: _build_fan1_instance(LATE_STEP),
+        paper_threads=512,
+        paper_fault_sites=1.09e5,
+        scaling_note=f"{SIZE}-point system, pivot step {LATE_STEP} (paper: step 124)",
+    )
+)
+
+SPEC_K126 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="Gaussian",
+        kernel_name="Fan2",
+        kernel_id="K126",
+        build_fn=lambda: _build_fan2_instance(LATE_STEP),
+        paper_threads=4096,
+        paper_fault_sites=8.79e5,
+        scaling_note=f"{SIZE}-point system, pivot step {LATE_STEP} (paper: step 124)",
+    )
+)

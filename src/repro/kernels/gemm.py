@@ -1,0 +1,121 @@
+"""GEMM — Polybench ``gemm_kernel`` (K1): C = alpha*A@B + beta*C.
+
+Every thread owns one C element, runs the identical k-loop, and the grid
+exactly tiles the matrix — so all threads share one iCnt.  The paper finds
+exactly one representative thread for GEMM; the loop then dominates its
+fault sites (98.2 % of instructions, Table VII).
+
+Scaling: paper uses 16384 threads (512x512); we use 16x16 matrices with
+4x4 CTAs (256 threads, 16 CTAs, 16-iteration k-loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_xy, f32_mad, f32_mul, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+NI = 16  # rows of C / A
+NJ = 16  # cols of C / B
+NK = 16  # inner dimension
+BLOCK = (4, 4)
+GRID = (NJ // BLOCK[0], NI // BLOCK[1])
+ALPHA = np.float32(1.5)
+BETA = np.float32(1.2)
+SEED = 0x6E44
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("gemm_kernel")
+    a_ptr, b_ptr, c_ptr, alpha, beta = k.params("a", "b", "c", "alpha_f32", "beta_f32")
+    r = k.regs("i", "j", "t", "kk", "addr_a", "addr_b", "addr_c", "acc", "av", "bv")
+
+    emit_global_xy(k, r.j, r.i, r.t)
+
+    # addr_c = c + 4 * (i * NJ + j)
+    k.mul("u32", r.addr_c, r.i, NJ)
+    k.add("u32", r.addr_c, r.addr_c, r.j)
+    k.shl("u32", r.addr_c, r.addr_c, 2)
+    k.ld("u32", r.t, c_ptr)
+    k.add("u32", r.addr_c, r.addr_c, r.t)
+
+    # addr_a walks row i of A; addr_b walks column j of B.
+    k.mul("u32", r.addr_a, r.i, NK)
+    k.shl("u32", r.addr_a, r.addr_a, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.addr_a, r.addr_a, r.t)
+    k.shl("u32", r.addr_b, r.j, 2)
+    k.ld("u32", r.t, b_ptr)
+    k.add("u32", r.addr_b, r.addr_b, r.t)
+
+    k.mov("f32", r.acc, 0.0)
+    with k.loop("u32", r.kk, 0, NK):
+        k.ld("f32", r.av, k.global_ref(r.addr_a))
+        k.ld("f32", r.bv, k.global_ref(r.addr_b))
+        k.mad_op("f32", r.acc, r.av, r.bv, r.acc)
+        k.add("u32", r.addr_a, r.addr_a, 4)
+        k.add("u32", r.addr_b, r.addr_b, 4 * NJ)
+
+    # C[i][j] = alpha * acc + beta * C[i][j]
+    k.ld("f32", r.av, k.global_ref(r.addr_c))
+    k.ld("f32", r.bv, beta)
+    k.mul("f32", r.av, r.av, r.bv)
+    k.ld("f32", r.bv, alpha)
+    k.mad_op("f32", r.acc, r.acc, r.bv, r.av)
+    k.st("f32", k.global_ref(r.addr_c), r.acc)
+    k.retp()
+    return k
+
+
+def reference(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    out = np.empty((NI, NJ), dtype=np.float32)
+    for i in range(NI):
+        for j in range(NJ):
+            acc = np.float32(0.0)
+            for kk in range(NK):
+                acc = f32_mad(a[i, kk], b[kk, j], acc)
+            out[i, j] = f32_mad(acc, ALPHA, f32_mul(c[i, j], BETA))
+    return out
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    a = float_inputs(rng, (NI, NK))
+    b = float_inputs(rng, (NK, NJ))
+    c = float_inputs(rng, (NI, NJ))
+
+    sim = GPUSimulator()
+    a_addr = sim.alloc_array(a)
+    b_addr = sim.alloc_array(b)
+    c_addr = sim.alloc_array(c)
+    params = pack_params(
+        k.param_layout,
+        {"a": a_addr, "b": b_addr, "c": c_addr, "alpha_f32": float(ALPHA), "beta_f32": float(BETA)},
+    )
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("c", c_addr, np.dtype(np.float32), NI * NJ),),
+        reference={"c": reference(a, b, c)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Polybench",
+        app="GEMM",
+        kernel_name="gemm_kernel",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=16384,
+        paper_fault_sites=6.23e8,
+        scaling_note=f"{NI}x{NJ}x{NK} matrices, {GRID[0] * GRID[1]} CTAs of {BLOCK[0] * BLOCK[1]} threads",
+    )
+)

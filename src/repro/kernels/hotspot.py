@@ -1,0 +1,273 @@
+"""HotSpot — Rodinia ``calculate_temp`` (K1).
+
+A 5-point thermal stencil iterated twice inside one kernel launch
+(compile-time unrolled, matching Table VII's 0-loop row for HotSpot).
+Each CTA stages its tile in shared memory; a neighbour read resolves in
+one of three ways, each a different code path:
+
+* in-tile       -> shared-memory load;
+* cross-tile    -> global load of the (stale) input temperature;
+* off-grid edge -> reuse the centre value.
+
+Thread position in the tile *and* the CTA's position in the grid both
+change which paths run, giving the rich CTA/thread iCnt-group structure
+(and the same-iCnt-different-instructions hazard across CTAs) that the
+paper observes for HotSpot.
+
+Scaling: paper runs 9216 threads; ours is a 24x24 grid with 8x8 CTAs
+(576 threads, 9 CTAs), 2 time steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_xy, f32_add, f32_mul, f32_sub, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+NX = 24
+NY = 24
+BLOCK = (8, 8)
+GRID = (NX // BLOCK[0], NY // BLOCK[1])
+TIME_STEPS = 2
+RX1 = np.float32(0.1)
+RY1 = np.float32(0.15)
+RZ1 = np.float32(0.0625)
+STEP_DIV_CAP = np.float32(0.5)
+AMB = np.float32(80.0)
+BOUNDARY_BLEND = np.float32(0.75)
+MIN_TEMP = np.float32(40.0)
+MAX_TEMP = np.float32(200.0)
+SEED = 0x4075
+
+
+def _emit_neighbor(k, r, p, tile, temp_ptr, axis: str, delta: int) -> None:
+    """Fetch one neighbour into ``r.nbr`` via the three-way path split.
+
+    axis 'x' moves along tx/gx, axis 'y' along ty/gy; delta is -1 or +1.
+    """
+    t_reg = r.tx if axis == "x" else r.ty
+    g_reg = r.gx if axis == "x" else r.gy
+    tile_limit = BLOCK[0] - 1 if axis == "x" else BLOCK[1] - 1
+    grid_limit = NX - 1 if axis == "x" else NY - 1
+    edge_value = 0 if delta < 0 else tile_limit
+    grid_edge_value = 0 if delta < 0 else grid_limit
+    shared_off = delta * 4 if axis == "x" else delta * BLOCK[0] * 4
+    global_off = delta * 4 if axis == "x" else delta * NX * 4
+
+    cross = k.fresh_label()
+    have = k.fresh_label()
+    # In-tile fast path.
+    k.set("eq", "u32", p, t_reg, edge_value)
+    k.bra(cross, guard=(p, "eq"))
+    k.ld("f32", r.nbr, k.shared_ref(r.saddr, tile + shared_off))
+    k.bra(have)
+    k.label(cross)
+    # Tile edge: either off the whole grid (reuse centre) or a stale
+    # global read from the neighbouring CTA's territory.
+    off_grid = k.fresh_label()
+    k.set("eq", "u32", p, g_reg, grid_edge_value)
+    k.bra(off_grid, guard=(p, "eq"))
+    k.ld("f32", r.nbr, k.global_ref(r.gaddr, global_off))
+    k.bra(have)
+    k.label(off_grid)
+    k.mov("f32", r.nbr, r.center)
+    k.label(have)
+    k.nop()
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("calculate_temp")
+    temp_ptr, power_ptr, out_ptr = k.params("temp", "power", "out")
+    r = k.regs(
+        "tx", "ty", "gx", "gy", "t", "saddr", "gaddr", "center", "nbr",
+        "acc", "sum", "c2", "powv", "new",
+    )
+    p = k.pred("p0")
+    tile = k.shared_alloc(BLOCK[0] * BLOCK[1] * 4)
+
+    k.cvt("u32", r.tx, k.tid.x)
+    k.cvt("u32", r.ty, k.tid.y)
+    emit_global_xy(k, r.gx, r.gy, r.t)
+
+    # gaddr -> &temp[gy][gx]; saddr -> tile[ty][tx].
+    k.mul("u32", r.gaddr, r.gy, NX)
+    k.add("u32", r.gaddr, r.gaddr, r.gx)
+    k.shl("u32", r.gaddr, r.gaddr, 2)
+    k.ld("u32", r.t, temp_ptr)
+    k.add("u32", r.gaddr, r.gaddr, r.t)
+    k.mul("u32", r.saddr, r.ty, BLOCK[0])
+    k.add("u32", r.saddr, r.saddr, r.tx)
+    k.shl("u32", r.saddr, r.saddr, 2)
+
+    k.ld("f32", r.center, k.global_ref(r.gaddr))
+    k.st("f32", k.shared_ref(r.saddr, tile), r.center)
+
+    # Power is read every step from the same address; hoist the address.
+    k.mul("u32", r.t, r.gy, NX)
+    k.add("u32", r.t, r.t, r.gx)
+    k.shl("u32", r.t, r.t, 2)
+    k.ld("u32", r.powv, power_ptr)
+    k.add("u32", r.powv, r.powv, r.t)
+    k.mov("u32", r.t, r.powv)  # r.t holds &power[gy][gx] hereafter? no — keep in gpow
+    k.bar()
+
+    gpow = r.t  # alias: r.t is not otherwise live across steps
+
+    for _step in range(TIME_STEPS):
+        k.ld("f32", r.center, k.shared_ref(r.saddr, tile))
+        # Vertical neighbours.
+        _emit_neighbor(k, r, p, tile, temp_ptr, "y", -1)
+        k.mov("f32", r.sum, r.nbr)
+        _emit_neighbor(k, r, p, tile, temp_ptr, "y", +1)
+        k.add("f32", r.sum, r.sum, r.nbr)
+        k.add("f32", r.c2, r.center, r.center)
+        k.sub("f32", r.sum, r.sum, r.c2)
+        k.mov("f32", r.acc, float(RY1))
+        k.mul("f32", r.sum, r.sum, r.acc)
+        k.ld("f32", r.acc, k.global_ref(gpow))
+        k.add("f32", r.acc, r.acc, r.sum)
+        # Horizontal neighbours.
+        _emit_neighbor(k, r, p, tile, temp_ptr, "x", -1)
+        k.mov("f32", r.sum, r.nbr)
+        _emit_neighbor(k, r, p, tile, temp_ptr, "x", +1)
+        k.add("f32", r.sum, r.sum, r.nbr)
+        k.sub("f32", r.sum, r.sum, r.c2)
+        k.mov("f32", r.new, float(RX1))
+        k.mul("f32", r.sum, r.sum, r.new)
+        k.add("f32", r.acc, r.acc, r.sum)
+        # Ambient term.
+        k.mov("f32", r.sum, float(AMB))
+        k.sub("f32", r.sum, r.sum, r.center)
+        k.mov("f32", r.new, float(RZ1))
+        k.mul("f32", r.sum, r.sum, r.new)
+        k.add("f32", r.acc, r.acc, r.sum)
+        # new = center + step/Cap * acc
+        k.mov("f32", r.new, float(STEP_DIV_CAP))
+        k.mul("f32", r.acc, r.acc, r.new)
+        k.add("f32", r.new, r.center, r.acc)
+        # Grid-boundary cells relax toward ambient (one block per axis, so
+        # edge threads run one extra block and corner threads two — the
+        # CTA-position-dependent iCnt structure the paper sees in HotSpot).
+        for g_reg, limit in ((r.gx, NX - 1), (r.gy, NY - 1)):
+            skip = k.fresh_label()
+            k.set("eq", "u32", r.c2, g_reg, 0)
+            k.set("eq", "u32", r.sum, g_reg, limit)
+            k.or_("u32", r.c2, r.c2, r.sum)
+            k.set("ne", "u32", p, r.c2, 0)
+            k.bra(skip, guard=(p, "ne"))
+            k.sub("f32", r.sum, r.new, float(AMB))
+            k.mul("f32", r.sum, r.sum, float(BOUNDARY_BLEND))
+            k.add("f32", r.new, r.sum, float(AMB))
+            k.max("f32", r.new, r.new, float(MIN_TEMP))
+            k.min("f32", r.new, r.new, float(MAX_TEMP))
+            k.label(skip)
+            k.nop()
+        # Publish with a double barrier.
+        k.bar()
+        k.st("f32", k.shared_ref(r.saddr, tile), r.new)
+        k.bar()
+
+    # out[gy][gx] = tile[ty][tx]
+    k.mul("u32", r.gaddr, r.gy, NX)
+    k.add("u32", r.gaddr, r.gaddr, r.gx)
+    k.shl("u32", r.gaddr, r.gaddr, 2)
+    k.ld("u32", r.c2, out_ptr)
+    k.add("u32", r.gaddr, r.gaddr, r.c2)
+    k.st("f32", k.global_ref(r.gaddr), r.new)
+    k.retp()
+    return k
+
+
+def reference(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """Mirror of the kernel: per-CTA tiles, stale cross-tile reads."""
+    out = np.zeros((NY, NX), dtype=np.float32)
+    bx, by = BLOCK
+    for cy in range(GRID[1]):
+        for cx in range(GRID[0]):
+            tile = temp[cy * by : (cy + 1) * by, cx * bx : (cx + 1) * bx].copy()
+            for _step in range(TIME_STEPS):
+                new_tile = tile.copy()
+                for ty in range(by):
+                    for tx in range(bx):
+                        gx, gy = cx * bx + tx, cy * by + ty
+                        center = tile[ty, tx]
+
+                        def fetch(axis: str, delta: int) -> np.float32:
+                            if axis == "x":
+                                if (tx == 0 and delta < 0) or (tx == bx - 1 and delta > 0):
+                                    if (gx == 0 and delta < 0) or (gx == NX - 1 and delta > 0):
+                                        return center
+                                    return temp[gy, gx + delta]  # stale global
+                                return tile[ty, tx + delta]
+                            if (ty == 0 and delta < 0) or (ty == by - 1 and delta > 0):
+                                if (gy == 0 and delta < 0) or (gy == NY - 1 and delta > 0):
+                                    return center
+                                return temp[gy + delta, gx]
+                            return tile[ty + delta, tx]
+
+                        s = f32_add(fetch("y", -1), fetch("y", +1))
+                        c2 = f32_add(center, center)
+                        s = f32_sub(s, c2)
+                        s = f32_mul(s, RY1)
+                        acc = f32_add(power[gy, gx], s)
+                        s = f32_add(fetch("x", -1), fetch("x", +1))
+                        s = f32_sub(s, c2)
+                        s = f32_mul(s, RX1)
+                        acc = f32_add(acc, s)
+                        s = f32_sub(AMB, center)
+                        s = f32_mul(s, RZ1)
+                        acc = f32_add(acc, s)
+                        acc = f32_mul(acc, STEP_DIV_CAP)
+                        new = f32_add(center, acc)
+                        for at_boundary in (gx in (0, NX - 1), gy in (0, NY - 1)):
+                            if at_boundary:
+                                new = f32_add(
+                                    f32_mul(f32_sub(new, AMB), BOUNDARY_BLEND), AMB
+                                )
+                                new = np.float32(max(float(new), float(MIN_TEMP)))
+                                new = np.float32(min(float(new), float(MAX_TEMP)))
+                        new_tile[ty, tx] = new
+                tile = new_tile
+            out[cy * by : (cy + 1) * by, cx * bx : (cx + 1) * bx] = tile
+    return out
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    temp = float_inputs(rng, (NY, NX), lo=70.0, hi=90.0)
+    power = float_inputs(rng, (NY, NX), lo=0.0, hi=2.0)
+
+    sim = GPUSimulator()
+    temp_addr = sim.alloc_array(temp)
+    power_addr = sim.alloc_array(power)
+    out_addr = sim.alloc_zeros(NY * NX * 4)
+    params = pack_params(
+        k.param_layout, {"temp": temp_addr, "power": power_addr, "out": out_addr}
+    )
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("out", out_addr, np.dtype(np.float32), NY * NX),),
+        reference={"out": reference(temp, power)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="HotSpot",
+        kernel_name="calculate_temp",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=9216,
+        paper_fault_sites=3.44e7,
+        scaling_note=f"{NX}x{NY} grid, {GRID[0] * GRID[1]} CTAs of {BLOCK[0] * BLOCK[1]} threads, {TIME_STEPS} steps",
+    )
+)

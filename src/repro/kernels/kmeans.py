@@ -1,0 +1,205 @@
+"""K-Means — Rodinia ``invert_mapping`` (K1) and ``kmeansPoint`` (K2).
+
+K1 transposes the feature matrix from [point][feature] to [feature][point]
+(a short feature loop per thread).  K2 assigns each point to its nearest
+cluster centre (nested cluster x feature loops, with a divergent
+minimum-update).  Tail threads beyond ``npoints`` exit early, giving the
+two-group thread structure the paper reports for K-Means.
+
+Scaling: paper uses 2304 threads, 34 features; we use 120 points (128
+threads, 32-thread CTAs), 6 features, 4 clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_tid_x, f32_mad, f32_sub, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+NPOINTS = 120
+NFEATURES = 6
+NCLUSTERS = 4
+BLOCK = (32, 1)
+GRID = (4, 1)
+SEED = 0x6B6D
+
+
+def build_invert_mapping() -> KernelBuilder:
+    k = KernelBuilder("invert_mapping")
+    in_ptr, out_ptr, npoints = k.params("input", "output", "npoints")
+    r = k.regs("gid", "t", "f", "addr_in", "addr_out", "val")
+
+    emit_global_tid_x(k, r.gid, r.t)
+    k.ld("u32", r.t, npoints)
+    with k.if_lt("u32", r.gid, r.t):
+        # addr_in walks the point's row; addr_out strides by npoints.
+        k.mul("u32", r.addr_in, r.gid, NFEATURES)
+        k.shl("u32", r.addr_in, r.addr_in, 2)
+        k.ld("u32", r.t, in_ptr)
+        k.add("u32", r.addr_in, r.addr_in, r.t)
+        k.shl("u32", r.addr_out, r.gid, 2)
+        k.ld("u32", r.t, out_ptr)
+        k.add("u32", r.addr_out, r.addr_out, r.t)
+        with k.loop("u32", r.f, 0, NFEATURES):
+            k.ld("f32", r.val, k.global_ref(r.addr_in))
+            k.st("f32", k.global_ref(r.addr_out), r.val)
+            k.add("u32", r.addr_in, r.addr_in, 4)
+            k.add("u32", r.addr_out, r.addr_out, 4 * NPOINTS)
+    k.retp()
+    return k
+
+
+def build_kmeans_point() -> KernelBuilder:
+    k = KernelBuilder("kmeansPoint")
+    feat_ptr, clusters_ptr, membership_ptr, npoints = k.params(
+        "features", "clusters", "membership", "npoints"
+    )
+    r = k.regs(
+        "gid", "t", "c", "f", "addr_f", "addr_c", "best", "bestidx",
+        "dist", "diff", "fv", "cv", "addr_m",
+    )
+    p = k.pred("pmin")
+
+    emit_global_tid_x(k, r.gid, r.t)
+    k.ld("u32", r.t, npoints)
+    with k.if_lt("u32", r.gid, r.t):
+        k.mov("f32", r.best, 3.4e38)
+        k.mov("u32", r.bestidx, 0)
+        k.ld("u32", r.addr_c, clusters_ptr)
+        with k.loop("u32", r.c, 0, NCLUSTERS, pred_name="pc"):
+            k.mov("f32", r.dist, 0.0)
+            # features laid out [feature][point] (K1's inverted layout).
+            k.shl("u32", r.addr_f, r.gid, 2)
+            k.ld("u32", r.t, feat_ptr)
+            k.add("u32", r.addr_f, r.addr_f, r.t)
+            with k.loop("u32", r.f, 0, NFEATURES, pred_name="pf"):
+                k.ld("f32", r.fv, k.global_ref(r.addr_f))
+                k.ld("f32", r.cv, k.global_ref(r.addr_c))
+                k.sub("f32", r.diff, r.fv, r.cv)
+                k.mad_op("f32", r.dist, r.diff, r.diff, r.dist)
+                k.add("u32", r.addr_f, r.addr_f, 4 * NPOINTS)
+                k.add("u32", r.addr_c, r.addr_c, 4)
+            # Divergent minimum update, like the CUDA source's if-block.
+            skip = k.fresh_label()
+            k.set("lt", "f32", p, r.dist, r.best)
+            k.bra(skip, guard=(p, "ne"))
+            k.mov("f32", r.best, r.dist)
+            k.mov("u32", r.bestidx, r.c)
+            k.label(skip)
+            k.nop()
+        k.shl("u32", r.addr_m, r.gid, 2)
+        k.ld("u32", r.t, membership_ptr)
+        k.add("u32", r.addr_m, r.addr_m, r.t)
+        k.st("u32", k.global_ref(r.addr_m), r.bestidx)
+    k.retp()
+    return k
+
+
+def reference_invert(features: np.ndarray) -> np.ndarray:
+    return features.T.copy()
+
+
+def reference_membership(inverted: np.ndarray, clusters: np.ndarray) -> np.ndarray:
+    membership = np.empty(NPOINTS, dtype=np.uint32)
+    for point in range(NPOINTS):
+        best = np.float32(3.4e38)
+        best_idx = 0
+        for c in range(NCLUSTERS):
+            dist = np.float32(0.0)
+            for f in range(NFEATURES):
+                diff = f32_sub(inverted[f, point], clusters[c, f])
+                dist = f32_mad(diff, diff, dist)
+            if dist < best:
+                best = dist
+                best_idx = c
+        membership[point] = best_idx
+    return membership
+
+
+def _stage_inputs(rng: np.random.Generator):
+    features = float_inputs(rng, (NPOINTS, NFEATURES))
+    clusters = float_inputs(rng, (NCLUSTERS, NFEATURES))
+    return features, clusters
+
+
+def build_k1() -> KernelInstance:
+    k = build_invert_mapping()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    features, _ = _stage_inputs(rng)
+
+    sim = GPUSimulator()
+    in_addr = sim.alloc_array(features)
+    out_addr = sim.alloc_zeros(NFEATURES * NPOINTS * 4)
+    params = pack_params(
+        k.param_layout, {"input": in_addr, "output": out_addr, "npoints": NPOINTS}
+    )
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("output", out_addr, np.dtype(np.float32), NFEATURES * NPOINTS),),
+        reference={"output": reference_invert(features)},
+    )
+
+
+def build_k2() -> KernelInstance:
+    k = build_kmeans_point()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    features, clusters = _stage_inputs(rng)
+    inverted = reference_invert(features)
+
+    sim = GPUSimulator()
+    feat_addr = sim.alloc_array(inverted)
+    clusters_addr = sim.alloc_array(clusters)
+    membership_addr = sim.alloc_zeros(NPOINTS * 4)
+    params = pack_params(
+        k.param_layout,
+        {
+            "features": feat_addr,
+            "clusters": clusters_addr,
+            "membership": membership_addr,
+            "npoints": NPOINTS,
+        },
+    )
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("membership", membership_addr, np.dtype(np.uint32), NPOINTS),),
+        reference={"membership": reference_membership(inverted, clusters)},
+    )
+
+
+SPEC_K1 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="K-Means",
+        kernel_name="invert_mapping",
+        kernel_id="K1",
+        build_fn=build_k1,
+        paper_threads=2304,
+        paper_fault_sites=1.47e7,
+        scaling_note=f"{NPOINTS} points x {NFEATURES} features, {GRID[0]} CTAs of {BLOCK[0]} threads",
+    )
+)
+
+SPEC_K2 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="K-Means",
+        kernel_name="kmeansPoint",
+        kernel_id="K2",
+        build_fn=build_k2,
+        paper_threads=2304,
+        paper_fault_sites=9.67e7,
+        scaling_note=f"{NCLUSTERS} clusters, {NPOINTS} points x {NFEATURES} features",
+    )
+)

@@ -1,0 +1,393 @@
+"""LUD — Rodinia blocked LU decomposition: perimeter (K44), internal (K45),
+diagonal (K46).
+
+The three kernels keep the paper's structural contrast:
+
+* ``lud_diagonal`` (K46) — tiny CTA, data-dependent nested loops, every
+  thread a distinct iCnt class;
+* ``lud_perimeter`` (K44) — two half-CTA thread populations running
+  different loop nests (row strip vs column strip);
+* ``lud_internal`` (K45) — fully unrolled inner product, zero loop
+  iterations (Table VII's 0-loop row for K45).
+
+Scaling: paper uses a 16-wide block on a larger matrix (16/32/256
+threads); ours is a 16x16 matrix with an 8-wide block (8/16/64 threads),
+all three kernels at decomposition step 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import f32_div, f32_mul, f32_sub, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+N = 16  # matrix dimension
+BS = 8  # LUD block size
+SEED = 0x14D4
+
+
+def _stage_matrix() -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    a = float_inputs(rng, (N, N), lo=0.5, hi=1.5)
+    a += np.eye(N, dtype=np.float32) * np.float32(2 * N)  # well-conditioned
+    return a
+
+
+# --------------------------------------------------------------------------
+# K46: lud_diagonal
+# --------------------------------------------------------------------------
+
+def build_diagonal() -> KernelBuilder:
+    k = KernelBuilder("lud_diagonal")
+    a_ptr, = k.params("a")
+    r = k.regs("tx", "t", "i", "j", "rowb", "addr", "pivot", "mult", "v", "w", "jstart")
+    dia = k.shared_alloc(BS * BS * 4)
+
+    k.cvt("u32", r.tx, k.tid.x)
+    # Load row tx of the diagonal block into shared (unrolled).
+    k.mul("u32", r.addr, r.tx, N)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    k.mul("u32", r.rowb, r.tx, BS * 4)
+    for j in range(BS):
+        k.ld("f32", r.v, k.global_ref(r.addr, 4 * j))
+        k.st("f32", k.shared_ref(r.rowb, dia + 4 * j), r.v)
+    k.bar()
+
+    with k.loop("u32", r.i, 0, BS, pred_name="pi"):
+        with k.if_block("gt", "u32", r.tx, r.i, pred_name="pact"):
+            # mult = dia[tx][i] / dia[i][i]
+            k.mul("u32", r.addr, r.i, BS * 4 + 4)  # (i*BS + i) * 4
+            k.ld("f32", r.pivot, k.shared_ref(r.addr, dia))
+            k.shl("u32", r.t, r.i, 2)
+            k.add("u32", r.t, r.t, r.rowb)
+            k.ld("f32", r.mult, k.shared_ref(r.t, dia))
+            k.div("f32", r.mult, r.mult, r.pivot)
+            k.st("f32", k.shared_ref(r.t, dia), r.mult)
+            # dia[tx][j] -= mult * dia[i][j] for j in (i, BS)
+            k.add("u32", r.jstart, r.i, 1)
+            with k.loop("u32", r.j, r.jstart, BS, pred_name="pj"):
+                k.mul("u32", r.t, r.i, BS)
+                k.add("u32", r.t, r.t, r.j)
+                k.shl("u32", r.t, r.t, 2)
+                k.ld("f32", r.v, k.shared_ref(r.t, dia))
+                k.shl("u32", r.t, r.j, 2)
+                k.add("u32", r.t, r.t, r.rowb)
+                k.ld("f32", r.w, k.shared_ref(r.t, dia))
+                k.mul("f32", r.v, r.mult, r.v)
+                k.sub("f32", r.w, r.w, r.v)
+                k.st("f32", k.shared_ref(r.t, dia), r.w)
+        k.bar()
+
+    # Write row tx back (the loop clobbered r.addr; recompute it).
+    k.mul("u32", r.addr, r.tx, N)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    for j in range(BS):
+        k.ld("f32", r.v, k.shared_ref(r.rowb, dia + 4 * j))
+        k.st("f32", k.global_ref(r.addr, 4 * j), r.v)
+    k.retp()
+    return k
+
+
+def diagonal_reference(block: np.ndarray) -> np.ndarray:
+    """In-place LU of one BSxBS block, mirroring the kernel's f32 ops."""
+    dia = block.copy()
+    for i in range(BS):
+        for tx in range(i + 1, BS):
+            mult = f32_div(dia[tx, i], dia[i, i])
+            dia[tx, i] = mult
+            for j in range(i + 1, BS):
+                dia[tx, j] = f32_sub(dia[tx, j], f32_mul(mult, dia[i, j]))
+    return dia
+
+
+# --------------------------------------------------------------------------
+# K44: lud_perimeter
+# --------------------------------------------------------------------------
+
+def build_perimeter() -> KernelBuilder:
+    k = KernelBuilder("lud_perimeter")
+    a_ptr, = k.params("a")
+    r = k.regs(
+        "tx", "t", "i", "j", "idx", "addr", "base", "v", "w", "mult", "acc", "rowb"
+    )
+    dia = k.shared_alloc(BS * BS * 4)
+    peri_row = k.shared_alloc(BS * BS * 4)
+    peri_col = k.shared_alloc(BS * BS * 4)
+
+    k.cvt("u32", r.tx, k.tid.x)
+    k.ld("u32", r.base, a_ptr)
+
+    half = k.fresh_label()
+    join_load = k.fresh_label()
+    p = k.pred("p0")
+    k.set("ge", "u32", p, r.tx, BS)
+    k.bra(half, guard=(p, "eq"))
+    # tx < BS: load dia row tx and peri_row row tx (cols BS..2BS of row tx).
+    k.mul("u32", r.addr, r.tx, N)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.add("u32", r.addr, r.addr, r.base)
+    k.mul("u32", r.rowb, r.tx, BS * 4)
+    for j in range(BS):
+        k.ld("f32", r.v, k.global_ref(r.addr, 4 * j))
+        k.st("f32", k.shared_ref(r.rowb, dia + 4 * j), r.v)
+    for j in range(BS):
+        k.ld("f32", r.v, k.global_ref(r.addr, 4 * (BS + j)))
+        k.st("f32", k.shared_ref(r.rowb, peri_row + 4 * j), r.v)
+    k.bra(join_load)
+    # tx >= BS: load peri_col row (tx - BS) (row BS+idx, cols 0..BS).
+    k.label(half)
+    k.sub("u32", r.idx, r.tx, BS)
+    k.add("u32", r.addr, r.idx, BS)
+    k.mul("u32", r.addr, r.addr, N)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.add("u32", r.addr, r.addr, r.base)
+    k.mul("u32", r.rowb, r.idx, BS * 4)
+    for j in range(BS):
+        k.ld("f32", r.v, k.global_ref(r.addr, 4 * j))
+        k.st("f32", k.shared_ref(r.rowb, peri_col + 4 * j), r.v)
+    k.label(join_load)
+    k.bar()
+
+    compute_col = k.fresh_label()
+    join_compute = k.fresh_label()
+    k.set("ge", "u32", p, r.tx, BS)
+    k.bra(compute_col, guard=(p, "eq"))
+    # Row strip: thread tx owns column tx of peri_row (forward substitution,
+    # unit-diagonal L from dia).  idx = tx.
+    with k.loop("u32", r.i, 1, BS, pred_name="pi"):
+        # acc = peri_row[i][tx]
+        k.mul("u32", r.t, r.i, BS * 4)
+        k.shl("u32", r.addr, r.tx, 2)
+        k.add("u32", r.addr, r.addr, r.t)
+        k.ld("f32", r.acc, k.shared_ref(r.addr, peri_row))
+        with k.loop("u32", r.j, 0, r.i, pred_name="pj"):
+            # acc -= dia[i][j] * peri_row[j][tx]
+            k.mul("u32", r.t, r.i, BS)
+            k.add("u32", r.t, r.t, r.j)
+            k.shl("u32", r.t, r.t, 2)
+            k.ld("f32", r.v, k.shared_ref(r.t, dia))
+            k.mul("u32", r.t, r.j, BS)
+            k.add("u32", r.t, r.t, r.tx)
+            k.shl("u32", r.t, r.t, 2)
+            k.ld("f32", r.w, k.shared_ref(r.t, peri_row))
+            k.mul("f32", r.v, r.v, r.w)
+            k.sub("f32", r.acc, r.acc, r.v)
+        k.st("f32", k.shared_ref(r.addr, peri_row), r.acc)
+    k.bra(join_compute)
+    # Column strip: thread owns row idx of peri_col (solve x * U = c).
+    k.label(compute_col)
+    with k.loop("u32", r.i, 0, BS, pred_name="pi2"):
+        # acc = peri_col[idx][i]
+        k.shl("u32", r.addr, r.i, 2)
+        k.add("u32", r.addr, r.addr, r.rowb)
+        k.ld("f32", r.acc, k.shared_ref(r.addr, peri_col))
+        with k.loop("u32", r.j, 0, r.i, pred_name="pj2"):
+            # acc -= peri_col[idx][j] * dia[j][i]
+            k.shl("u32", r.t, r.j, 2)
+            k.add("u32", r.t, r.t, r.rowb)
+            k.ld("f32", r.v, k.shared_ref(r.t, peri_col))
+            k.mul("u32", r.t, r.j, BS)
+            k.add("u32", r.t, r.t, r.i)
+            k.shl("u32", r.t, r.t, 2)
+            k.ld("f32", r.w, k.shared_ref(r.t, dia))
+            k.mul("f32", r.v, r.v, r.w)
+            k.sub("f32", r.acc, r.acc, r.v)
+        # acc /= dia[i][i]
+        k.mul("u32", r.t, r.i, BS * 4 + 4)
+        k.ld("f32", r.w, k.shared_ref(r.t, dia))
+        k.div("f32", r.acc, r.acc, r.w)
+        k.st("f32", k.shared_ref(r.addr, peri_col), r.acc)
+    k.label(join_compute)
+    k.bar()
+
+    # Write back the strips.
+    write_col = k.fresh_label()
+    done = k.fresh_label()
+    k.set("ge", "u32", p, r.tx, BS)
+    k.bra(write_col, guard=(p, "eq"))
+    # Thread tx < BS wrote column tx of peri_row; store that column.
+    k.shl("u32", r.t, r.tx, 2)
+    k.add("u32", r.addr, r.base, r.t)
+    for i in range(BS):
+        k.ld("f32", r.v, k.shared_ref(r.t, peri_row + 4 * BS * i))
+        k.st("f32", k.global_ref(r.addr, 4 * (i * N + BS)), r.v)
+    k.bra(done)
+    k.label(write_col)
+    # Thread tx >= BS wrote row idx of peri_col; store that row.
+    k.add("u32", r.addr, r.idx, BS)
+    k.mul("u32", r.addr, r.addr, N)
+    k.shl("u32", r.addr, r.addr, 2)
+    k.add("u32", r.addr, r.addr, r.base)
+    for j in range(BS):
+        k.ld("f32", r.v, k.shared_ref(r.rowb, peri_col + 4 * j))
+        k.st("f32", k.global_ref(r.addr, 4 * j), r.v)
+    k.label(done)
+    k.retp()
+    return k
+
+
+def perimeter_reference(a_after_diag: np.ndarray) -> np.ndarray:
+    out = a_after_diag.copy()
+    dia = out[:BS, :BS]
+    # Row strip: forward substitution per column.
+    for tx in range(BS):
+        col = out[:BS, BS + tx].copy()
+        for i in range(1, BS):
+            acc = col[i]
+            for j in range(i):
+                acc = f32_sub(acc, f32_mul(dia[i, j], col[j]))
+            col[i] = acc
+        out[:BS, BS + tx] = col
+    # Column strip: solve against U with division by the pivot.
+    for idx in range(BS):
+        row = out[BS + idx, :BS].copy()
+        for i in range(BS):
+            acc = row[i]
+            for j in range(i):
+                acc = f32_sub(acc, f32_mul(row[j], dia[j, i]))
+            row[i] = f32_div(acc, dia[i, i])
+        out[BS + idx, :BS] = row
+    return out
+
+
+# --------------------------------------------------------------------------
+# K45: lud_internal
+# --------------------------------------------------------------------------
+
+def build_internal() -> KernelBuilder:
+    k = KernelBuilder("lud_internal")
+    a_ptr, = k.params("a")
+    r = k.regs("tx", "ty", "t", "colb", "rowb", "addr", "acc", "v", "w")
+
+    k.cvt("u32", r.tx, k.tid.x)
+    k.cvt("u32", r.ty, k.tid.y)
+    k.ld("u32", r.t, a_ptr)
+    # rowb -> &a[BS+ty][0]; colb -> &a[0][BS+tx]
+    k.add("u32", r.rowb, r.ty, BS)
+    k.mul("u32", r.rowb, r.rowb, N)
+    k.shl("u32", r.rowb, r.rowb, 2)
+    k.add("u32", r.rowb, r.rowb, r.t)
+    k.add("u32", r.colb, r.tx, BS)
+    k.shl("u32", r.colb, r.colb, 2)
+    k.add("u32", r.colb, r.colb, r.t)
+
+    # acc = a[BS+ty][BS+tx]
+    k.shl("u32", r.addr, r.tx, 2)
+    k.add("u32", r.addr, r.addr, r.rowb)
+    k.ld("f32", r.acc, k.global_ref(r.addr, 4 * BS))
+    # Fully unrolled inner product (0 run-time loop iterations, Table VII).
+    for kk in range(BS):
+        k.ld("f32", r.v, k.global_ref(r.rowb, 4 * kk))
+        k.ld("f32", r.w, k.global_ref(r.colb, 4 * (kk * N)))
+        k.mul("f32", r.v, r.v, r.w)
+        k.sub("f32", r.acc, r.acc, r.v)
+    k.st("f32", k.global_ref(r.addr, 4 * BS), r.acc)
+    k.retp()
+    return k
+
+
+def internal_reference(a_after_perimeter: np.ndarray) -> np.ndarray:
+    out = a_after_perimeter.copy()
+    for ty in range(BS):
+        for tx in range(BS):
+            acc = out[BS + ty, BS + tx]
+            for kk in range(BS):
+                acc = f32_sub(
+                    acc, f32_mul(out[BS + ty, kk], out[kk, BS + tx])
+                )
+            out[BS + ty, BS + tx] = acc
+    return out
+
+
+# --------------------------------------------------------------------------
+# Instances
+# --------------------------------------------------------------------------
+
+def _make_instance(builder, geometry, staged: np.ndarray, ref: np.ndarray) -> KernelInstance:
+    program = builder.build()
+    sim = GPUSimulator()
+    a_addr = sim.alloc_array(staged)
+    params = pack_params(builder.param_layout, {"a": a_addr})
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=geometry,
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("a", a_addr, np.dtype(np.float32), N * N),),
+        reference={"a": ref},
+    )
+
+
+def build_k46() -> KernelInstance:
+    a = _stage_matrix()
+    ref = a.copy()
+    ref[:BS, :BS] = diagonal_reference(a[:BS, :BS])
+    return _make_instance(
+        build_diagonal(), LaunchGeometry(grid=(1, 1), block=(BS, 1)), a, ref
+    )
+
+
+def build_k44() -> KernelInstance:
+    a = _stage_matrix()
+    a[:BS, :BS] = diagonal_reference(a[:BS, :BS])
+    ref = perimeter_reference(a)
+    return _make_instance(
+        build_perimeter(), LaunchGeometry(grid=(1, 1), block=(2 * BS, 1)), a, ref
+    )
+
+
+def build_k45() -> KernelInstance:
+    a = _stage_matrix()
+    a[:BS, :BS] = diagonal_reference(a[:BS, :BS])
+    a = perimeter_reference(a)
+    ref = internal_reference(a)
+    return _make_instance(
+        build_internal(), LaunchGeometry(grid=(1, 1), block=(BS, BS)), a, ref
+    )
+
+
+SPEC_K44 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="LUD",
+        kernel_name="lud_perimeter",
+        kernel_id="K44",
+        build_fn=build_k44,
+        paper_threads=32,
+        paper_fault_sites=1.75e6,
+        scaling_note=f"{N}x{N} matrix, block size {BS}, step 0",
+    )
+)
+
+SPEC_K45 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="LUD",
+        kernel_name="lud_internal",
+        kernel_id="K45",
+        build_fn=build_k45,
+        paper_threads=256,
+        paper_fault_sites=6.84e5,
+        scaling_note=f"{N}x{N} matrix, block size {BS}, step 0",
+    )
+)
+
+SPEC_K46 = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="LUD",
+        kernel_name="lud_diagonal",
+        kernel_id="K46",
+        build_fn=build_k46,
+        paper_threads=16,
+        paper_fault_sites=5.26e5,
+        scaling_note=f"{N}x{N} matrix, block size {BS}, step 0",
+    )
+)

@@ -1,0 +1,102 @@
+"""2MM — Polybench ``mm2_kernel1`` (K1): tmp = A @ B.
+
+The paper injects into the first of 2MM's two matrix-multiply kernels;
+like GEMM it collapses to a single representative thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_xy, f32_mad, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+NI = 16
+NJ = 16
+NK = 16
+BLOCK = (4, 4)
+GRID = (NJ // BLOCK[0], NI // BLOCK[1])
+SEED = 0x2AA0
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("mm2_kernel1")
+    a_ptr, b_ptr, tmp_ptr = k.params("a", "b", "tmp")
+    r = k.regs("i", "j", "t", "kk", "addr_a", "addr_b", "addr_t", "acc", "av", "bv")
+
+    emit_global_xy(k, r.j, r.i, r.t)
+
+    k.mul("u32", r.addr_t, r.i, NJ)
+    k.add("u32", r.addr_t, r.addr_t, r.j)
+    k.shl("u32", r.addr_t, r.addr_t, 2)
+    k.ld("u32", r.t, tmp_ptr)
+    k.add("u32", r.addr_t, r.addr_t, r.t)
+
+    k.mul("u32", r.addr_a, r.i, NK)
+    k.shl("u32", r.addr_a, r.addr_a, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.addr_a, r.addr_a, r.t)
+    k.shl("u32", r.addr_b, r.j, 2)
+    k.ld("u32", r.t, b_ptr)
+    k.add("u32", r.addr_b, r.addr_b, r.t)
+
+    k.mov("f32", r.acc, 0.0)
+    with k.loop("u32", r.kk, 0, NK):
+        k.ld("f32", r.av, k.global_ref(r.addr_a))
+        k.ld("f32", r.bv, k.global_ref(r.addr_b))
+        k.mad_op("f32", r.acc, r.av, r.bv, r.acc)
+        k.add("u32", r.addr_a, r.addr_a, 4)
+        k.add("u32", r.addr_b, r.addr_b, 4 * NJ)
+
+    k.st("f32", k.global_ref(r.addr_t), r.acc)
+    k.retp()
+    return k
+
+
+def reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty((NI, NJ), dtype=np.float32)
+    for i in range(NI):
+        for j in range(NJ):
+            acc = np.float32(0.0)
+            for kk in range(NK):
+                acc = f32_mad(a[i, kk], b[kk, j], acc)
+            out[i, j] = acc
+    return out
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    a = float_inputs(rng, (NI, NK))
+    b = float_inputs(rng, (NK, NJ))
+
+    sim = GPUSimulator()
+    a_addr = sim.alloc_array(a)
+    b_addr = sim.alloc_array(b)
+    tmp_addr = sim.alloc_zeros(NI * NJ * 4)
+    params = pack_params(k.param_layout, {"a": a_addr, "b": b_addr, "tmp": tmp_addr})
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("tmp", tmp_addr, np.dtype(np.float32), NI * NJ),),
+        reference={"tmp": reference(a, b)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Polybench",
+        app="2MM",
+        kernel_name="mm2_kernel1",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=16384,
+        paper_fault_sites=5.55e8,
+        scaling_note=f"{NI}x{NJ}x{NK}, {GRID[0] * GRID[1]} CTAs of {BLOCK[0] * BLOCK[1]} threads",
+    )
+)

@@ -1,0 +1,100 @@
+"""MVT — Polybench ``mvt_kernel1`` (K1): x1 = x1 + A @ y1.
+
+One thread per row; the column loop runs the full matrix width, so 99.7 %
+of a thread's instructions sit in the loop (Table VII's extreme case) and
+the kernel reduces to a single representative thread.
+
+Scaling: paper uses 512 threads / 512 iterations; we use 48 rows with
+16-thread CTAs (3 CTAs, 48-iteration loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_tid_x, f32_mad, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+N = 48
+BLOCK = (16, 1)
+GRID = (N // BLOCK[0], 1)
+SEED = 0x3117
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("mvt_kernel1")
+    a_ptr, x1_ptr, y1_ptr = k.params("a", "x1", "y1")
+    r = k.regs("i", "t", "jj", "addr_a", "addr_y", "addr_x", "acc", "av", "yv")
+
+    emit_global_tid_x(k, r.i, r.t)
+
+    # addr_x = x1 + 4*i; addr_a walks row i of A; addr_y walks y1.
+    k.shl("u32", r.addr_x, r.i, 2)
+    k.ld("u32", r.t, x1_ptr)
+    k.add("u32", r.addr_x, r.addr_x, r.t)
+    k.mul("u32", r.addr_a, r.i, N)
+    k.shl("u32", r.addr_a, r.addr_a, 2)
+    k.ld("u32", r.t, a_ptr)
+    k.add("u32", r.addr_a, r.addr_a, r.t)
+    k.ld("u32", r.addr_y, y1_ptr)
+
+    k.ld("f32", r.acc, k.global_ref(r.addr_x))
+    with k.loop("u32", r.jj, 0, N):
+        k.ld("f32", r.av, k.global_ref(r.addr_a))
+        k.ld("f32", r.yv, k.global_ref(r.addr_y))
+        k.mad_op("f32", r.acc, r.av, r.yv, r.acc)
+        k.add("u32", r.addr_a, r.addr_a, 4)
+        k.add("u32", r.addr_y, r.addr_y, 4)
+
+    k.st("f32", k.global_ref(r.addr_x), r.acc)
+    k.retp()
+    return k
+
+
+def reference(a: np.ndarray, x1: np.ndarray, y1: np.ndarray) -> np.ndarray:
+    out = np.empty(N, dtype=np.float32)
+    for i in range(N):
+        acc = x1[i]
+        for j in range(N):
+            acc = f32_mad(a[i, j], y1[j], acc)
+        out[i] = acc
+    return out
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    a = float_inputs(rng, (N, N))
+    x1 = float_inputs(rng, N)
+    y1 = float_inputs(rng, N)
+
+    sim = GPUSimulator()
+    a_addr = sim.alloc_array(a)
+    x1_addr = sim.alloc_array(x1)
+    y1_addr = sim.alloc_array(y1)
+    params = pack_params(k.param_layout, {"a": a_addr, "x1": x1_addr, "y1": y1_addr})
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("x1", x1_addr, np.dtype(np.float32), N),),
+        reference={"x1": reference(a, x1, y1)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Polybench",
+        app="MVT",
+        kernel_name="mvt_kernel1",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=512,
+        paper_fault_sites=6.83e7,
+        scaling_note=f"{N}-row matrix, {GRID[0]} CTAs of {BLOCK[0]} threads",
+    )
+)

@@ -1,0 +1,107 @@
+"""NN — Rodinia nearest-neighbor ``euclid`` kernel (K1).
+
+Each thread computes the Euclidean distance from one record's (lat, lng)
+to the search target.  Straight-line code, no loops (Table VII's 0-loop
+row), minimal divergence (only the tail guard).
+
+Scaling: paper spawns 43008 threads; we use 256 records with 64-thread CTAs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .common import emit_global_tid_x, f32_mul, float_inputs
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+N_RECORDS = 256
+BLOCK = (64, 1)
+GRID = (N_RECORDS // BLOCK[0], 1)
+TARGET_LAT = np.float32(0.5)
+TARGET_LNG = np.float32(0.25)
+SEED = 0x4E4E
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("euclid")
+    loc_ptr, dist_ptr, n, lat, lng = k.params("locations", "distances", "n", "lat_f32", "lng_f32")
+    r = k.regs("gid", "t", "addr", "latv", "lngv", "d")
+
+    emit_global_tid_x(k, r.gid, r.t)
+    k.ld("u32", r.t, n)
+    with k.if_lt("u32", r.gid, r.t):
+        # locations is an array of (lat, lng) f32 pairs.
+        k.shl("u32", r.addr, r.gid, 3)
+        k.ld("u32", r.t, loc_ptr)
+        k.add("u32", r.addr, r.addr, r.t)
+        k.ld("f32", r.latv, k.global_ref(r.addr))
+        k.ld("f32", r.lngv, k.global_ref(r.addr, 4))
+        k.ld("f32", r.t, lat)
+        k.sub("f32", r.latv, r.latv, r.t)
+        k.ld("f32", r.t, lng)
+        k.sub("f32", r.lngv, r.lngv, r.t)
+        k.mul("f32", r.latv, r.latv, r.latv)
+        k.mad_op("f32", r.d, r.lngv, r.lngv, r.latv)
+        k.sqrt("f32", r.d, r.d)
+        k.shl("u32", r.addr, r.gid, 2)
+        k.ld("u32", r.t, dist_ptr)
+        k.add("u32", r.addr, r.addr, r.t)
+        k.st("f32", k.global_ref(r.addr), r.d)
+    k.retp()
+    return k
+
+
+def reference(locations: np.ndarray) -> np.ndarray:
+    out = np.empty(N_RECORDS, dtype=np.float32)
+    for i in range(N_RECORDS):
+        dlat = np.float32(float(locations[i, 0]) - float(TARGET_LAT))
+        dlng = np.float32(float(locations[i, 1]) - float(TARGET_LNG))
+        s = f32_mul(dlat, dlat)
+        s = np.float32(float(f32_mul(dlng, dlng)) + float(s))
+        out[i] = np.float32(np.sqrt(np.float64(s)))
+    return out
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    locations = float_inputs(rng, (N_RECORDS, 2))
+
+    sim = GPUSimulator()
+    loc_addr = sim.alloc_array(locations)
+    dist_addr = sim.alloc_zeros(N_RECORDS * 4)
+    params = pack_params(
+        k.param_layout,
+        {
+            "locations": loc_addr,
+            "distances": dist_addr,
+            "n": N_RECORDS,
+            "lat_f32": float(TARGET_LAT),
+            "lng_f32": float(TARGET_LNG),
+        },
+    )
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("distances", dist_addr, np.dtype(np.float32), N_RECORDS),),
+        reference={"distances": reference(locations)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="NN",
+        kernel_name="euclid",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=43008,
+        paper_fault_sites=None,
+        scaling_note=f"{N_RECORDS} records, {GRID[0]} CTAs of {BLOCK[0]} threads",
+    )
+)

@@ -1,0 +1,150 @@
+"""PathFinder — Rodinia ``dynproc_kernel`` (K1).
+
+Dynamic-programming shortest path over a grid of integer weights: each
+thread owns one column of its CTA's tile, shared memory holds the running
+cost row, and an iteration loop with two barriers per step advances the
+front.  CTA-edge threads (tile column 0 / BLOCK-1) skip one neighbour-min
+block per iteration, producing exactly the two-representative-thread,
+large-common-block structure of the paper's Fig. 5 / Table V.
+
+The CUDA original overlaps CTAs with a halo; we keep tiles disjoint and
+clamp at tile edges (the NumPy reference models the same tiling), which
+preserves the code structure that matters for pruning.
+
+Scaling: paper uses 1280 threads / 20 DP iterations; ours is 128 columns
+(32-thread CTAs) and 8 iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
+from .registry import KernelInstance, KernelSpec, OutputBuffer, register
+
+COLS = 128
+ROWS = 9  # row 0 seeds the DP; ITERATIONS = ROWS - 1 kernel steps
+ITERATIONS = ROWS - 1
+BLOCK = (32, 1)
+GRID = (COLS // BLOCK[0], 1)
+SEED = 0x9AFD
+
+
+def build_program() -> KernelBuilder:
+    k = KernelBuilder("dynproc_kernel")
+    wall_ptr, result_ptr = k.params("wall", "result")
+    r = k.regs("tx", "gid", "t", "it", "addr", "best", "nbr", "wv", "saddr")
+    p = k.pred("p0")
+
+    k.cvt("u32", r.tx, k.tid.x)
+    k.cvt("u32", r.gid, k.ctaid.x)
+    k.cvt("u32", r.t, k.ntid.x)
+    k.mul("u32", r.gid, r.gid, r.t)
+    k.add("u32", r.gid, r.gid, r.tx)
+
+    prev = k.shared_alloc(BLOCK[0] * 4)
+
+    # prev[tx] = wall[0][gid]
+    k.shl("u32", r.addr, r.gid, 2)
+    k.ld("u32", r.t, wall_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    k.ld("u32", r.wv, k.global_ref(r.addr))
+    k.shl("u32", r.saddr, r.tx, 2)
+    k.st("u32", k.shared_ref(r.saddr, prev), r.wv)
+    k.bar()
+
+    with k.loop("u32", r.it, 1, ROWS):
+        # best = prev[tx]
+        k.ld("u32", r.best, k.shared_ref(r.saddr, prev))
+        # if tx > 0: best = min(best, prev[tx-1])
+        skip_left = k.fresh_label()
+        k.set("eq", "u32", p, r.tx, 0)
+        k.bra(skip_left, guard=(p, "eq"))
+        k.ld("u32", r.nbr, k.shared_ref(r.saddr, prev - 4))
+        k.min("u32", r.best, r.best, r.nbr)
+        k.label(skip_left)
+        k.nop()
+        # if tx < BLOCK-1: best = min(best, prev[tx+1])
+        skip_right = k.fresh_label()
+        k.set("eq", "u32", p, r.tx, BLOCK[0] - 1)
+        k.bra(skip_right, guard=(p, "eq"))
+        k.ld("u32", r.nbr, k.shared_ref(r.saddr, prev + 4))
+        k.min("u32", r.best, r.best, r.nbr)
+        k.label(skip_right)
+        k.nop()
+        # best += wall[it][gid]
+        k.mul("u32", r.addr, r.it, COLS)
+        k.add("u32", r.addr, r.addr, r.gid)
+        k.shl("u32", r.addr, r.addr, 2)
+        k.ld("u32", r.t, wall_ptr)
+        k.add("u32", r.addr, r.addr, r.t)
+        k.ld("u32", r.wv, k.global_ref(r.addr))
+        k.add("u32", r.best, r.best, r.wv)
+        # Double-barrier hand-off into the shared row.
+        k.bar()
+        k.st("u32", k.shared_ref(r.saddr, prev), r.best)
+        k.bar()
+
+    # result[gid] = prev[tx]
+    k.ld("u32", r.best, k.shared_ref(r.saddr, prev))
+    k.shl("u32", r.addr, r.gid, 2)
+    k.ld("u32", r.t, result_ptr)
+    k.add("u32", r.addr, r.addr, r.t)
+    k.st("u32", k.global_ref(r.addr), r.best)
+    k.retp()
+    return k
+
+
+def reference(wall: np.ndarray) -> np.ndarray:
+    """Tile-local DP matching the kernel's disjoint-CTA neighbourhoods."""
+    result = np.empty(COLS, dtype=np.uint32)
+    bs = BLOCK[0]
+    for cta in range(GRID[0]):
+        prev = wall[0, cta * bs : (cta + 1) * bs].astype(np.uint64)
+        for row in range(1, ROWS):
+            cur = np.empty_like(prev)
+            for tx in range(bs):
+                best = prev[tx]
+                if tx > 0:
+                    best = min(best, prev[tx - 1])
+                if tx < bs - 1:
+                    best = min(best, prev[tx + 1])
+                cur[tx] = (best + wall[row, cta * bs + tx]) & 0xFFFFFFFF
+            prev = cur
+        result[cta * bs : (cta + 1) * bs] = prev.astype(np.uint32)
+    return result
+
+
+def build() -> KernelInstance:
+    k = build_program()
+    program = k.build()
+    rng = np.random.default_rng(SEED)
+    wall = rng.integers(0, 10, size=(ROWS, COLS), dtype=np.uint32)
+
+    sim = GPUSimulator()
+    wall_addr = sim.alloc_array(wall)
+    result_addr = sim.alloc_zeros(COLS * 4)
+    params = pack_params(k.param_layout, {"wall": wall_addr, "result": result_addr})
+    return KernelInstance(
+        spec=None,
+        program=program,
+        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        param_bytes=params,
+        initial_memory=sim.memory,
+        outputs=(OutputBuffer("result", result_addr, np.dtype(np.uint32), COLS),),
+        reference={"result": reference(wall)},
+    )
+
+
+SPEC = register(
+    KernelSpec(
+        suite="Rodinia",
+        app="PathFinder",
+        kernel_name="dynproc_kernel",
+        kernel_id="K1",
+        build_fn=build,
+        paper_threads=1280,
+        paper_fault_sites=2.77e7,
+        scaling_note=f"{COLS} columns, {ITERATIONS} DP iterations, {GRID[0]} CTAs of {BLOCK[0]} threads",
+    )
+)

@@ -1,0 +1,55 @@
+"""Progressive fault-site pruning — the paper's contribution."""
+
+from .adaptive import StabilitySweep, stable_loop_iterations
+from .bitwise import BitPlan, plan_bits, sampled_bit_positions
+from .instructionwise import (
+    BorrowedBlock,
+    InstructionwisePruning,
+    prune_instructions,
+)
+from .loopwise import (
+    LoopwisePruning,
+    StaticLoop,
+    build_loop_tree,
+    find_static_loops,
+    iteration_spans,
+    loop_statistics,
+    prune_loops,
+)
+from .progressive import (
+    ProgressivePruner,
+    PrunedSpace,
+    StageReport,
+    WeightedSite,
+)
+from .report import ReductionRow, format_reduction_table, reduction_row
+from .threadwise import CTAGroup, ThreadGroup, ThreadwisePruning, prune_threads
+
+__all__ = [
+    "BitPlan",
+    "BorrowedBlock",
+    "CTAGroup",
+    "InstructionwisePruning",
+    "LoopwisePruning",
+    "ProgressivePruner",
+    "PrunedSpace",
+    "StabilitySweep",
+    "ReductionRow",
+    "StageReport",
+    "StaticLoop",
+    "ThreadGroup",
+    "ThreadwisePruning",
+    "WeightedSite",
+    "build_loop_tree",
+    "find_static_loops",
+    "format_reduction_table",
+    "iteration_spans",
+    "loop_statistics",
+    "plan_bits",
+    "prune_instructions",
+    "prune_loops",
+    "prune_threads",
+    "reduction_row",
+    "sampled_bit_positions",
+    "stable_loop_iterations",
+]

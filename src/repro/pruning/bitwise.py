@@ -1,0 +1,54 @@
+"""Stage 4 — bit-wise pruning (paper Section III-E, Observation 5).
+
+Destination-register bit positions are sampled at equal intervals —
+``n_bits`` of them per register (the paper finds 16 of 32 preserves the
+outcome distribution, Fig. 8).  For a 32-bit register and 8 samples the
+positions are {3, 7, 11, 15, 19, 23, 27, 31}, exactly the paper's rule.
+
+Predicate destinations are the PTXPlus 4-bit condition code.  Only the
+zero flag feeds branch guards in these workloads, so the sign/carry/
+overflow bits are pruned and statically accounted as masked (Fig. 7's
+".pred" panels show the three upper bits produce only masked outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PruningError
+
+
+def sampled_bit_positions(width: int, n_bits: int) -> list[int]:
+    """Equally spaced bit positions, highest bit always included."""
+    if n_bits <= 0:
+        raise PruningError("n_bits must be positive")
+    if n_bits >= width:
+        return list(range(width))
+    step = width // n_bits
+    positions = [step - 1 + i * step for i in range(n_bits)]
+    return [p for p in positions if p < width]
+
+
+@dataclass(frozen=True)
+class BitPlan:
+    """Which bits of a ``width``-wide destination to inject, and weights."""
+
+    width: int
+    kept_bits: tuple[int, ...]
+    weight_per_bit: float  # exhaustive bits each kept bit stands for
+    static_masked_bits: int  # bits pruned as provably masked (pred flags)
+
+
+def plan_bits(width: int, n_bits: int, pred_flags_masked: bool = True) -> BitPlan:
+    """Build the sampling plan for one destination register width."""
+    if width == 4 and pred_flags_masked:
+        # Predicate condition code: inject the zero flag, account the
+        # sign/carry/overflow flags as masked.
+        return BitPlan(width=4, kept_bits=(0,), weight_per_bit=1.0, static_masked_bits=3)
+    kept = tuple(sampled_bit_positions(width, n_bits))
+    return BitPlan(
+        width=width,
+        kept_bits=kept,
+        weight_per_bit=width / len(kept),
+        static_masked_bits=0,
+    )

@@ -1,0 +1,64 @@
+"""Reduction reporting (the data behind Fig. 10)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .progressive import PrunedSpace
+
+
+@dataclass(frozen=True)
+class ReductionRow:
+    """One kernel's Fig. 10 bar group."""
+
+    kernel: str
+    exhaustive: int
+    after_threadwise: int
+    after_instructionwise: int
+    after_loopwise: int
+    after_bitwise: int
+    baseline_runs: int
+
+    @property
+    def normalized(self) -> dict[str, float]:
+        return {
+            "thread-wise": self.after_threadwise / self.exhaustive,
+            "+insn-wise": self.after_instructionwise / self.exhaustive,
+            "+loop-wise": self.after_loopwise / self.exhaustive,
+            "+bit-wise": self.after_bitwise / self.exhaustive,
+        }
+
+    @property
+    def orders_of_magnitude(self) -> float:
+        """Total reduction, in powers of ten (the paper's headline metric)."""
+        return math.log10(self.exhaustive / max(self.after_bitwise, 1))
+
+
+def reduction_row(kernel: str, space: PrunedSpace, baseline_runs: int) -> ReductionRow:
+    by_name = {s.name: s.sites_after for s in space.stages}
+    return ReductionRow(
+        kernel=kernel,
+        exhaustive=space.total_sites,
+        after_threadwise=by_name["thread-wise"],
+        after_instructionwise=by_name["instruction-wise"],
+        after_loopwise=by_name["loop-wise"],
+        after_bitwise=by_name["bit-wise"],
+        baseline_runs=baseline_runs,
+    )
+
+
+def format_reduction_table(rows: list[ReductionRow]) -> str:
+    header = (
+        f"{'kernel':16s} {'exhaustive':>12s} {'thread':>10s} {'+insn':>10s} "
+        f"{'+loop':>10s} {'+bit':>8s} {'baseline':>9s} {'log10 red.':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.kernel:16s} {row.exhaustive:12d} {row.after_threadwise:10d} "
+            f"{row.after_instructionwise:10d} {row.after_loopwise:10d} "
+            f"{row.after_bitwise:8d} {row.baseline_runs:9d} "
+            f"{row.orders_of_magnitude:10.2f}"
+        )
+    return "\n".join(lines)

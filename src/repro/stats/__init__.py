@@ -1,0 +1,37 @@
+"""Statistical machinery: sample sizing (Eqs. 2-4), CIs, grouping stats."""
+
+from .distributions import (
+    BoxStats,
+    box_core_distance,
+    box_distance,
+    group_by_distance,
+    histogram_signature,
+)
+from .intervals import ProportionCI, proportion_ci, wilson_ci
+from .sampling import (
+    PAPER_GROUND_TRUTH,
+    PAPER_QUICK,
+    BaselinePlan,
+    sample_size_finite,
+    sample_size_infinite,
+    sample_size_worst_case,
+    z_score,
+)
+
+__all__ = [
+    "PAPER_GROUND_TRUTH",
+    "PAPER_QUICK",
+    "BaselinePlan",
+    "BoxStats",
+    "ProportionCI",
+    "box_core_distance",
+    "box_distance",
+    "group_by_distance",
+    "histogram_signature",
+    "proportion_ci",
+    "sample_size_finite",
+    "sample_size_infinite",
+    "sample_size_worst_case",
+    "wilson_ci",
+    "z_score",
+]

@@ -1,0 +1,90 @@
+"""Distribution summaries used for CTA/thread grouping (Figs. 2-4).
+
+The paper groups CTAs by the *shape* of a per-CTA distribution — first of
+masked-output percentages (Fig. 2), then of thread iCnts (Fig. 3) — read
+off boxplots.  :class:`BoxStats` captures those salient points and
+:func:`box_distance` gives the dissimilarity the grouping algorithms
+cluster on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Boxplot summary: quartiles, whisker ends, mean."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_values(cls, values) -> "BoxStats":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ReproError("cannot summarise an empty sample")
+        q1, median, q3 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            minimum=float(arr.min()),
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+        )
+
+    def as_tuple(self) -> tuple[float, ...]:
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum, self.mean)
+
+
+def box_distance(a: BoxStats, b: BoxStats) -> float:
+    """Max absolute gap across the boxplot's salient points."""
+    return max(abs(x - y) for x, y in zip(a.as_tuple(), b.as_tuple()))
+
+
+def box_core_distance(a: BoxStats, b: BoxStats) -> float:
+    """Max absolute gap across quartiles and mean, ignoring the whiskers.
+
+    Min/max are dominated by a handful of outlier threads, while the
+    paper's by-eye grouping of Figs. 2-3 keys on the box body; this is the
+    distance the CTA-grouping analytics use.
+    """
+    core = lambda s: (s.q1, s.median, s.q3, s.mean)  # noqa: E731
+    return max(abs(x - y) for x, y in zip(core(a), core(b)))
+
+
+def group_by_distance(items: list, distance, threshold: float) -> list[list[int]]:
+    """Greedy single-link grouping: an item joins the first group whose
+    exemplar is within ``threshold``; otherwise it founds a new group.
+
+    Deterministic given item order — matching how the paper assigns CTAs
+    to groups by comparing boxplot shapes.
+    Returns groups as lists of item indices, in first-seen order.
+    """
+    groups: list[list[int]] = []
+    exemplars: list = []
+    for index, item in enumerate(items):
+        for gid, exemplar in enumerate(exemplars):
+            if distance(item, exemplar) <= threshold:
+                groups[gid].append(index)
+                break
+        else:
+            groups.append([index])
+            exemplars.append(item)
+    return groups
+
+
+def histogram_signature(values, decimals: int = 6) -> tuple:
+    """An exact multiset signature (value -> count), for exact grouping."""
+    arr = np.asarray(list(values), dtype=float).round(decimals)
+    unique, counts = np.unique(arr, return_counts=True)
+    return tuple(zip(unique.tolist(), counts.tolist()))

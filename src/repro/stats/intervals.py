@@ -1,0 +1,58 @@
+"""Confidence intervals for outcome proportions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .sampling import z_score
+
+
+@dataclass(frozen=True)
+class ProportionCI:
+    """A proportion estimate with its symmetric normal-approximation CI."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def proportion_ci(successes: float, n: float, confidence: float = 0.95) -> ProportionCI:
+    """Wald interval, clipped to [0, 1] — what the sizing equations assume."""
+    if n <= 0:
+        raise ReproError("need at least one observation")
+    p = successes / n
+    half = z_score(confidence) * math.sqrt(max(p * (1.0 - p), 0.0) / n)
+    return ProportionCI(
+        estimate=p,
+        low=max(0.0, p - half),
+        high=min(1.0, p + half),
+        confidence=confidence,
+    )
+
+
+def wilson_ci(successes: float, n: float, confidence: float = 0.95) -> ProportionCI:
+    """Wilson score interval — better behaved near 0/1, used in reports."""
+    if n <= 0:
+        raise ReproError("need at least one observation")
+    z = z_score(confidence)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (p + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return ProportionCI(
+        estimate=p,
+        low=max(0.0, centre - half),
+        high=min(1.0, centre + half),
+        confidence=confidence,
+    )

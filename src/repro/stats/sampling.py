@@ -1,0 +1,133 @@
+"""Statistical fault-injection sample sizing (paper Section II-D).
+
+Implements Leveugle et al.'s equations as used by the paper:
+
+* Eq. 2 — finite-population sample size for estimating the masked-output
+  fraction ``p`` with error margin ``e`` at a given confidence;
+* Eq. 3 — the infinite-population limit;
+* Eq. 4 — the worst case over ``p`` (``p = 0.5``), the number the paper's
+  60K-run ground-truth campaigns come from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+#: Two-sided normal quantiles for the confidence levels the paper uses.
+#: (The paper's t-statistic; with n in the hundreds the normal quantile
+#: is the appropriate limit.)
+_Z_BY_CONFIDENCE = {
+    0.90: 1.6449,
+    0.95: 1.9600,
+    0.98: 2.3263,
+    0.99: 2.5758,
+    0.995: 2.8070,
+    0.998: 3.0902,
+    0.999: 3.2905,
+}
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided normal quantile for a confidence level in (0, 1)."""
+    if confidence in _Z_BY_CONFIDENCE:
+        return _Z_BY_CONFIDENCE[confidence]
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence {confidence} outside (0, 1)")
+    # Rational approximation (Beasley-Springer-Moro) of the normal inverse
+    # CDF, accurate to ~1e-9 — enough for sample sizing.
+    return _inverse_normal_cdf(0.5 + confidence / 2.0)
+
+
+def _inverse_normal_cdf(q: float) -> float:
+    a = (
+        -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+        1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+        6.680131188771972e01, -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+        -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+        3.754408661907416e00,
+    )
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+    if q > 1.0 - p_low:
+        return -_inverse_normal_cdf(1.0 - q)
+    u = q - 0.5
+    t = u * u
+    return (
+        (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5])
+        * u
+        / (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0)
+    )
+
+
+def sample_size_finite(
+    population: int, error_margin: float, confidence: float, p: float = 0.5
+) -> int:
+    """Eq. 2: required injections for a finite fault-site population."""
+    if population <= 0:
+        raise ReproError("population must be positive")
+    _check_margin(error_margin)
+    z = z_score(confidence)
+    denominator = 1.0 + error_margin**2 * (population - 1) / (z**2 * p * (1.0 - p))
+    return math.ceil(population / denominator)
+
+
+def sample_size_infinite(error_margin: float, confidence: float, p: float = 0.5) -> int:
+    """Eq. 3: the infinite-population limit of Eq. 2."""
+    _check_margin(error_margin)
+    z = z_score(confidence)
+    return math.ceil(z**2 * p * (1.0 - p) / error_margin**2)
+
+
+def sample_size_worst_case(error_margin: float, confidence: float) -> int:
+    """Eq. 4: maximise over the unknown p (p = 0.5) -> n = t^2 / (4 e^2)."""
+    _check_margin(error_margin)
+    z = z_score(confidence)
+    return math.ceil(z**2 / (4.0 * error_margin**2))
+
+
+def _check_margin(error_margin: float) -> None:
+    if not 0.0 < error_margin < 1.0:
+        raise ReproError(f"error margin {error_margin} outside (0, 1)")
+
+
+@dataclass(frozen=True)
+class BaselinePlan:
+    """A (confidence, error margin) baseline campaign plan for one kernel."""
+
+    population: int
+    confidence: float
+    error_margin: float
+
+    @property
+    def n_runs(self) -> int:
+        n_inf = sample_size_worst_case(self.error_margin, self.confidence)
+        if n_inf >= self.population:
+            return self.population
+        return min(
+            n_inf,
+            sample_size_finite(self.population, self.error_margin, self.confidence),
+        )
+
+    def estimated_time(self, seconds_per_run: float) -> float:
+        return self.n_runs * seconds_per_run
+
+
+#: The paper's two reference settings (Table II).
+PAPER_GROUND_TRUTH = (0.998, 0.0063)  # -> ~60K runs
+PAPER_QUICK = (0.95, 0.03)  # -> ~1K runs

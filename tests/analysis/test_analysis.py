@@ -1,0 +1,148 @@
+"""Analysis-layer tests: grouping analytics, profile comparison, tables."""
+
+import numpy as np
+import pytest
+
+from repro import Outcome, ResilienceProfile, all_kernels
+from repro.analysis import (
+    average_absolute_errors,
+    cta_icnt_grouping,
+    cta_outcome_grouping,
+    compare_profiles,
+    find_target_instructions,
+    format_group_table,
+    format_profile_table,
+    format_table1,
+    format_table7,
+    group_table,
+    thread_masked_pct,
+    thread_outcome_series,
+)
+from repro.pruning import prune_threads
+from tests.conftest import injector_for
+
+
+class TestProfileComparison:
+    def _profiles(self):
+        a = ResilienceProfile.from_outcomes([Outcome.MASKED, Outcome.SDC])
+        b = ResilienceProfile.from_outcomes([Outcome.MASKED, Outcome.MASKED])
+        return a, b
+
+    def test_signed_deltas(self):
+        a, b = self._profiles()
+        cmp_ = compare_profiles(a, b)
+        assert cmp_.delta_masked == -50.0
+        assert cmp_.delta_sdc == 50.0
+        assert cmp_.delta_other == 0.0
+        assert cmp_.max_abs == 50.0
+
+    def test_average_absolute_errors(self):
+        a, b = self._profiles()
+        avg = average_absolute_errors([(a, b), (a, a)])
+        assert avg["masked"] == 25.0
+        assert avg["sdc"] == 25.0
+        assert avg["other"] == 0.0
+
+    def test_format_profile_table(self):
+        a, b = self._profiles()
+        text = format_profile_table([("gemm.k1", a, b)])
+        assert "gemm.k1" in text
+        assert "50.00" in text
+
+
+class TestGroupingAnalytics:
+    def test_icnt_grouping_matches_thread_wise_structure(self):
+        inj = injector_for("2dconv.k1")
+        grouping = cta_icnt_grouping(inj)
+        assert grouping.n_groups == 3
+        # Group membership should match the mean-iCnt classification.
+        tw = prune_threads(inj.traces, inj.instance.geometry)
+        tw_sets = {frozenset(g.ctas) for g in tw.cta_groups}
+        an_sets = {frozenset(g) for g in grouping.groups}
+        assert tw_sets == an_sets
+
+    def test_outcome_grouping_runs_and_groups(self):
+        inj = injector_for("2dconv.k1")
+        pc = find_target_instructions(inj)[0]
+        grouping = cta_outcome_grouping(
+            inj, pc, threads_per_cta_sample=4, bits=[3, 11, 19, 27], rng=0
+        )
+        assert 1 <= grouping.n_groups <= inj.instance.geometry.n_ctas
+        covered = sorted(c for g in grouping.groups for c in g)
+        assert covered == list(range(inj.instance.geometry.n_ctas))
+
+    def test_thread_masked_pct_bounds(self):
+        inj = injector_for("gemm.k1")
+        pc = find_target_instructions(inj)[0]
+        pct = thread_masked_pct(inj, 0, pc, bits=[0, 15, 31])
+        assert pct is not None
+        assert 0.0 <= pct <= 100.0
+
+    def test_thread_masked_pct_none_for_unexecuted_pc(self):
+        inj = injector_for("2dconv.k1")
+        # A border thread never executes the stencil body's last pc.
+        body_pc = max(pc for pc, w in inj.traces[65] if w)
+        short_thread = min(
+            range(len(inj.traces)), key=lambda t: len(inj.traces[t])
+        )
+        if all(pc != body_pc for pc, _ in inj.traces[short_thread]):
+            assert thread_masked_pct(inj, short_thread, body_pc) is None
+
+    def test_target_instructions_cover_distinct_patterns(self):
+        """Probes are chosen per execution-pattern signature: each must be
+        executed by at least one thread, and they must not all share the
+        same thread population (HotSpot has divergent boundary blocks)."""
+        inj = injector_for("hotspot.k1")
+        populations = []
+        for pc in find_target_instructions(inj, count=4):
+            executing = frozenset(
+                t for t, trace in enumerate(inj.traces)
+                if any(p == pc and w for p, w in trace)
+            )
+            assert executing
+            populations.append(executing)
+        assert len(set(populations)) >= 2
+
+    def test_thread_outcome_series_shape(self):
+        inj = injector_for("gemm.k1")
+        pc = find_target_instructions(inj)[0]
+        series = thread_outcome_series(inj, cta=0, pc=pc, bits=[7, 23])
+        tpc = inj.instance.geometry.threads_per_cta
+        assert len(series.threads) == tpc
+        assert len(series.masked_pct) == tpc
+        assert len(series.icnt) == tpc
+
+    def test_group_of(self):
+        inj = injector_for("2dconv.k1")
+        grouping = cta_icnt_grouping(inj)
+        for cta in range(inj.instance.geometry.n_ctas):
+            assert 0 <= grouping.group_of(cta) < grouping.n_groups
+        with pytest.raises(ValueError):
+            grouping.group_of(10_000)
+
+
+class TestTableRenderers:
+    def test_table1_contains_all_kernels(self):
+        rows = []
+        for spec in all_kernels()[:3]:
+            inj = injector_for(spec.key)
+            rows.append((spec, inj.instance.geometry.n_threads, inj.space.total_sites))
+        text = format_table1(rows)
+        for spec, _, _ in rows:
+            assert spec.kernel_name in text
+
+    def test_group_table_renders(self):
+        inj = injector_for("2dconv.k1")
+        tw = prune_threads(inj.traces, inj.instance.geometry)
+        text = format_group_table(group_table(tw, inj.instance.geometry.n_ctas))
+        assert "C-1" in text
+        assert "T-11" in text
+        assert "%" in text
+
+    def test_table7_renders(self):
+        from repro import get_kernel
+
+        spec = get_kernel("mvt.k1")
+        text = format_table7([(spec, 48, 48, 99.7)])
+        assert "MVT" in text
+        assert "99.70%" in text

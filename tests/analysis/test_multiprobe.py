@@ -1,0 +1,82 @@
+"""Multi-probe outcome grouping + target-selection diversity tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cta_outcome_grouping,
+    find_target_instructions,
+)
+from repro.analysis.grouping import occurrence_of
+from tests.conftest import injector_for
+
+
+class TestOccurrenceOf:
+    def test_middle_occurrence_in_loop(self):
+        inj = injector_for("gemm.k1")
+        # The k-loop body pc occurs 16 times; occurrence_of picks a middle one.
+        from collections import Counter
+
+        counts = Counter(pc for pc, w in inj.traces[0] if w)
+        loop_pc, n = counts.most_common(1)[0]
+        assert n > 1
+        dyn = occurrence_of(inj, 0, loop_pc)
+        occurrences = [
+            i for i, (pc, w) in enumerate(inj.traces[0]) if pc == loop_pc and w
+        ]
+        assert dyn == occurrences[len(occurrences) // 2]
+
+    def test_absent_pc_returns_none(self):
+        inj = injector_for("gemm.k1")
+        missing = len(inj.instance.program) + 5  # pc beyond the program
+        assert occurrence_of(inj, 0, missing) is None
+
+
+class TestTargetSelection:
+    def test_signature_diversity_on_divergent_kernel(self):
+        """2DCONV has several execution-pattern signatures; the probes must
+        not all share one coverage pattern."""
+        inj = injector_for("2dconv.k1")
+        probes = find_target_instructions(inj, count=5)
+        assert len(probes) >= 3
+
+        def signature(pc):
+            tpc = inj.instance.geometry.threads_per_cta
+            counts = [0] * inj.instance.geometry.n_ctas
+            for thread, trace in enumerate(inj.traces):
+                if any(p == pc and w for p, w in trace):
+                    counts[thread // tpc] += 1
+            return tuple(counts)
+
+        assert len({signature(pc) for pc in probes}) >= 2
+
+    def test_single_signature_kernel_still_yields_probes(self):
+        inj = injector_for("gemm.k1")
+        probes = find_target_instructions(inj, count=3)
+        assert len(probes) == 3
+        assert len(set(probes)) == 3
+
+
+class TestMultiProbeGrouping:
+    def test_accepts_probe_list(self):
+        inj = injector_for("gaussian.k1")
+        probes = find_target_instructions(inj, count=2)
+        single = cta_outcome_grouping(
+            inj, probes[0], bits=[3, 19], rng=0, threads_per_cta_sample=8
+        )
+        multi = cta_outcome_grouping(
+            inj, probes, bits=[3, 19], rng=0, threads_per_cta_sample=8
+        )
+        n_ctas = inj.instance.geometry.n_ctas
+        for grouping in (single, multi):
+            covered = sorted(c for g in grouping.groups for c in g)
+            assert covered == list(range(n_ctas))
+
+    def test_nonexecuting_threads_count_as_fully_masked(self):
+        inj = injector_for("gaussian.k125")  # most threads idle at step 20
+        # Probe the active-path store-address computation (a late pc).
+        busy = max(range(len(inj.traces)), key=lambda t: len(inj.traces[t]))
+        late_pc = max(pc for pc, w in inj.traces[busy] if w)
+        grouping = cta_outcome_grouping(inj, late_pc, bits=[3], rng=0)
+        for dist in grouping.distributions:
+            assert max(dist.values) == 100.0  # idle threads present as 100

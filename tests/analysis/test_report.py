@@ -1,0 +1,64 @@
+"""Resilience-report rendering tests."""
+
+import pytest
+
+from repro import FaultInjector, ProgressivePruner
+from repro.analysis import instruction_vulnerabilities, render_report
+
+from ..helpers import build_saxpy_instance
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    injector = FaultInjector(build_saxpy_instance())
+    space = ProgressivePruner(n_bits=4).prune(injector)
+    profile = space.estimate_profile(injector)
+    return injector, space, profile
+
+
+class TestVulnerabilityRanking:
+    def test_rows_sorted_by_impact(self, bundle):
+        injector, space, _ = bundle
+        rows = instruction_vulnerabilities(injector, space)
+        impacts = [r.impact for r in rows]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_weights_cover_pruned_space(self, bundle):
+        injector, space, _ = bundle
+        rows = instruction_vulnerabilities(injector, space)
+        total = sum(r.weighted_sites for r in rows)
+        assert total == pytest.approx(sum(ws.weight for ws in space.sites))
+
+    def test_fractions_in_range(self, bundle):
+        injector, space, _ = bundle
+        for row in instruction_vulnerabilities(injector, space):
+            assert 0.0 <= row.unsafe_fraction <= 1.0
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, bundle):
+        injector, space, profile = bundle
+        text = render_report(injector, space, profile)
+        for heading in ("# Resilience report", "## Pruning",
+                        "## Estimated error-resilience profile",
+                        "## Hardening priorities"):
+            assert heading in text
+
+    def test_profile_numbers_rendered(self, bundle):
+        injector, space, profile = bundle
+        text = render_report(injector, space, profile)
+        assert f"{profile.pct_masked:.2f}%" in text
+
+    def test_reduction_and_stage_rows(self, bundle):
+        injector, space, profile = bundle
+        text = render_report(injector, space, profile)
+        for stage in space.stages:
+            assert stage.name in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "gaussian.k125", "--bits", "4",
+                     "--loop-iters", "2", "--out", str(out)]) == 0
+        assert "# Resilience report" in out.read_text()

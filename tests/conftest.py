@@ -1,0 +1,55 @@
+"""Shared fixtures: cached kernel instances and injectors.
+
+Building a FaultInjector performs the golden run; session-scoped caching
+keeps the suite fast while letting many tests share the same golden state
+(everything derived from it is read-only or snapshot-based).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultInjector, load_instance
+
+_INJECTORS: dict[str, FaultInjector] = {}
+
+
+def injector_for(key: str) -> FaultInjector:
+    if key not in _INJECTORS:
+        _INJECTORS[key] = FaultInjector(load_instance(key))
+    return _INJECTORS[key]
+
+
+@pytest.fixture(scope="session")
+def conv2d_injector() -> FaultInjector:
+    return injector_for("2dconv.k1")
+
+
+@pytest.fixture(scope="session")
+def gemm_injector() -> FaultInjector:
+    return injector_for("gemm.k1")
+
+
+@pytest.fixture(scope="session")
+def pathfinder_injector() -> FaultInjector:
+    return injector_for("pathfinder.k1")
+
+
+@pytest.fixture(scope="session")
+def hotspot_injector() -> FaultInjector:
+    return injector_for("hotspot.k1")
+
+
+@pytest.fixture(scope="session")
+def gaussian_k1_injector() -> FaultInjector:
+    return injector_for("gaussian.k1")
+
+
+@pytest.fixture(scope="session")
+def kmeans_k2_injector() -> FaultInjector:
+    return injector_for("k-means.k2")
+
+
+@pytest.fixture(scope="session")
+def lud_k46_injector() -> FaultInjector:
+    return injector_for("lud.k46")

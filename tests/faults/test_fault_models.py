@@ -1,0 +1,144 @@
+"""Tests for the extended (SASSIFI-style) fault models: IOA and RF."""
+
+import numpy as np
+import pytest
+
+from repro import FaultInjector, Outcome
+from repro.errors import FaultInjectionError
+from repro.faults import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
+
+from ..helpers import build_loop_sum_instance, build_saxpy_instance
+
+
+@pytest.fixture(scope="module")
+def saxpy():
+    return FaultInjector(build_saxpy_instance())
+
+
+class TestInjectionSpec:
+    def test_rf_requires_register(self):
+        with pytest.raises(ValueError):
+            InjectionSpec(0, 0, FaultModel.REGISTER_FILE)
+
+    def test_site_spec_builders(self):
+        ioa = StoreAddressSite(1, 2, 3)
+        assert ioa.spec().model is FaultModel.STORE_ADDRESS
+        rf = RegisterFileSite(1, 2, "acc", 3)
+        assert rf.spec().reg == "acc"
+        assert "ioa:" in str(ioa) and "rf:" in str(rf)
+
+
+class TestStoreAddressModel:
+    def test_sites_enumerate_stores_only(self, saxpy):
+        program = saxpy.instance.program
+        sites = saxpy.store_address_sites(0)
+        assert sites, "saxpy thread 0 performs a store"
+        for site in sites:
+            pc = saxpy.traces[site.thread][site.dyn_index][0]
+            assert program.instructions[pc].op == "st"
+        # 32 bits per store.
+        assert len(sites) % 32 == 0
+
+    def test_low_bit_address_flip_is_sdc(self, saxpy):
+        # Flipping address bit 2 moves the store by one f32 element —
+        # still inside the output buffer -> silent corruption.
+        site = saxpy.store_address_sites(0)[2]
+        assert site.bit == 2
+        assert saxpy.inject_spec(site.thread, site.spec()) is Outcome.SDC
+
+    def test_high_bit_address_flip_crashes(self, saxpy):
+        sites = saxpy.store_address_sites(0)
+        high = next(s for s in sites if s.bit == 31)
+        assert saxpy.inject_spec(high.thread, high.spec()) is Outcome.CRASH
+
+    def test_non_store_target_rejected(self, saxpy):
+        spec = InjectionSpec(0, 0, FaultModel.STORE_ADDRESS)
+        with pytest.raises(FaultInjectionError):
+            saxpy.inject_spec(0, spec)
+
+    def test_predicated_off_store_is_masked(self):
+        # Tail threads of saxpy skip the guarded body; their store slot
+        # never issues, so an address fault there cannot matter.
+        injector = FaultInjector(build_saxpy_instance(n=10, block=4))
+        # Thread 10/11 are out of range; they have no store in their trace,
+        # so construct the spec against an in-range thread's store index
+        # and aim it at the *guarded-off* path via a thread whose trace
+        # contains the store pc as a predicated-off slot, if any.
+        program = injector.instance.program
+        tail = 11
+        store_slots = [
+            i for i, (pc, w) in enumerate(injector.traces[tail])
+            if program.instructions[pc].op == "st"
+        ]
+        if store_slots:  # the slot exists but was predicated off
+            spec = InjectionSpec(store_slots[0], 5, FaultModel.STORE_ADDRESS)
+            assert injector.inject_spec(tail, spec) is Outcome.MASKED
+
+    def test_fastpath_matches_full(self, saxpy):
+        for site in saxpy.store_address_sites(3)[:16]:
+            assert saxpy.inject_spec(site.thread, site.spec()) == (
+                saxpy.inject_spec_full(site.thread, site.spec())
+            )
+
+
+class TestRegisterFileModel:
+    def test_sampled_sites_are_valid(self, saxpy):
+        rng = np.random.default_rng(1)
+        sites = saxpy.sample_register_file_sites(25, rng)
+        assert len(sites) == 25
+        for site in sites:
+            assert 0 <= site.thread < len(saxpy.traces)
+            assert 0 <= site.dyn_index < len(saxpy.traces[site.thread])
+            assert 0 <= site.bit < 32
+
+    def test_sampling_deterministic(self, saxpy):
+        a = saxpy.sample_register_file_sites(10, np.random.default_rng(3))
+        b = saxpy.sample_register_file_sites(10, np.random.default_rng(3))
+        assert a == b
+
+    def test_flip_of_dead_register_is_masked(self):
+        """A register overwritten before its next use absorbs the upset."""
+        injector = FaultInjector(build_loop_sum_instance(n_threads=2, iters=4))
+        program = injector.instance.program
+        trace = injector.traces[0]
+        # `v` is reloaded at the top of every iteration; flipping it right
+        # after the accumulate (just before the reload) is dead.
+        loads = [
+            i for i, (pc, w) in enumerate(trace)
+            if w and program.instructions[pc].op == "ld"
+            and program.instructions[pc].dest.name == "v"
+        ]
+        assert len(loads) >= 2
+        spec = InjectionSpec(loads[1], 7, FaultModel.REGISTER_FILE, reg="v")
+        # Injected at the second load's issue point: the flip lands before
+        # the reload overwrites it -> dead value -> masked.
+        assert injector.inject_spec(0, spec) is Outcome.MASKED
+
+    def test_flip_of_live_accumulator_corrupts(self):
+        injector = FaultInjector(build_loop_sum_instance(n_threads=2, iters=4))
+        trace = injector.traces[0]
+        spec = InjectionSpec(len(trace) - 2, 9, FaultModel.REGISTER_FILE, reg="acc")
+        assert injector.inject_spec(0, spec) is Outcome.SDC
+
+    def test_outcomes_are_classified(self, saxpy):
+        rng = np.random.default_rng(2)
+        for site in saxpy.sample_register_file_sites(20, rng):
+            assert isinstance(saxpy.inject_spec(site.thread, site.spec()), Outcome)
+
+    def test_fastpath_matches_full(self, saxpy):
+        rng = np.random.default_rng(4)
+        for site in saxpy.sample_register_file_sites(12, rng):
+            assert saxpy.inject_spec(site.thread, site.spec()) == (
+                saxpy.inject_spec_full(site.thread, site.spec())
+            )
+
+
+class TestValueModelUnchanged:
+    """The default model must behave exactly as before the extension."""
+
+    def test_value_spec_equals_site_injection(self, saxpy):
+        rng = np.random.default_rng(6)
+        for site in saxpy.space.sample(15, rng):
+            spec = InjectionSpec(site.dyn_index, site.bit)
+            assert spec.model is FaultModel.VALUE
+            assert saxpy.inject(site) == saxpy.inject_spec(site.thread, spec)

@@ -1,0 +1,80 @@
+"""Unit + property tests for outcomes and resilience profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.faults import CATEGORIES, Outcome, ResilienceProfile
+
+
+class TestOutcome:
+    def test_categories_collapse_to_three(self):
+        assert Outcome.MASKED.category == "masked"
+        assert Outcome.SDC.category == "sdc"
+        assert Outcome.CRASH.category == "other"
+        assert Outcome.HANG.category == "other"
+
+
+class TestResilienceProfile:
+    def test_unit_weights_count(self):
+        profile = ResilienceProfile.from_outcomes(
+            [Outcome.MASKED, Outcome.MASKED, Outcome.SDC, Outcome.HANG]
+        )
+        assert profile.pct_masked == 50.0
+        assert profile.pct_sdc == 25.0
+        assert profile.pct_other == 25.0
+        assert profile.n_injections == 4
+
+    def test_weighted(self):
+        profile = ResilienceProfile.from_outcomes(
+            [Outcome.MASKED, Outcome.SDC], weights=[3.0, 1.0]
+        )
+        assert profile.pct_masked == 75.0
+
+    def test_empty_profile_has_no_fractions(self):
+        with pytest.raises(ReproError):
+            ResilienceProfile().fraction("masked")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ReproError):
+            ResilienceProfile().add(Outcome.MASKED, -1.0)
+
+    def test_merge(self):
+        a = ResilienceProfile.from_outcomes([Outcome.MASKED])
+        b = ResilienceProfile.from_outcomes([Outcome.SDC])
+        a.merge(b)
+        assert a.pct_masked == 50.0
+        assert a.n_injections == 2
+
+    def test_max_abs_error(self):
+        a = ResilienceProfile.from_outcomes([Outcome.MASKED, Outcome.SDC])
+        b = ResilienceProfile.from_outcomes([Outcome.MASKED, Outcome.MASKED])
+        assert a.max_abs_error(b) == 50.0
+
+    def test_str_contains_percentages(self):
+        profile = ResilienceProfile.from_outcomes([Outcome.MASKED])
+        assert "masked=100.00%" in str(profile)
+
+    @given(
+        st.lists(
+            st.sampled_from(list(Outcome)), min_size=1, max_size=50
+        )
+    )
+    def test_percentages_sum_to_100(self, outcomes):
+        profile = ResilienceProfile.from_outcomes(outcomes)
+        assert sum(profile.as_percentages().values()) == pytest.approx(100.0)
+
+    @given(
+        outcomes=st.lists(st.sampled_from(list(Outcome)), min_size=1, max_size=20),
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=20, max_size=20
+        ),
+    )
+    def test_weighted_total_conserved(self, outcomes, weights):
+        weights = weights[: len(outcomes)]
+        profile = ResilienceProfile.from_outcomes(outcomes, weights)
+        assert profile.total_weight == pytest.approx(sum(weights))
+
+    def test_mismatched_weight_count_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceProfile.from_outcomes([Outcome.MASKED], weights=[1.0, 2.0])

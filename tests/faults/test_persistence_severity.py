@@ -1,0 +1,101 @@
+"""Tests for campaign persistence and SDC-severity analysis."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import FaultInjector, Outcome, random_campaign
+from repro.errors import ReproError
+from repro.faults import (
+    FaultSite,
+    InjectionRecord,
+    SeverityInjector,
+    load_campaign,
+    save_campaign,
+)
+from repro.faults.persistence import campaign_from_dict, campaign_to_dict
+
+from ..helpers import build_saxpy_instance
+
+
+@pytest.fixture(scope="module")
+def injector():
+    return FaultInjector(build_saxpy_instance())
+
+
+class TestPersistence:
+    def test_roundtrip(self, injector, tmp_path):
+        result = random_campaign(injector, 12, rng=0)
+        path = tmp_path / "campaign.json"
+        save_campaign(result, path, kernel="saxpy")
+        loaded = load_campaign(path)
+        assert loaded.sites == result.sites
+        assert loaded.outcomes == result.outcomes
+        assert loaded.profile.as_percentages() == result.profile.as_percentages()
+
+    def test_file_is_plain_json(self, injector, tmp_path):
+        result = random_campaign(injector, 3, rng=0)
+        path = tmp_path / "c.json"
+        save_campaign(result, path, kernel="saxpy")
+        data = json.loads(path.read_text())
+        assert data["kernel"] == "saxpy"
+        assert len(data["runs"]) == 3
+
+    def test_version_checked(self):
+        with pytest.raises(ReproError):
+            campaign_from_dict({"version": 999, "runs": []})
+
+    def test_dict_roundtrip_preserves_weights(self, injector):
+        result = random_campaign(injector, 5, rng=1)
+        clone = campaign_from_dict(campaign_to_dict(result))
+        assert clone.profile.weights == result.profile.weights
+
+
+class TestSeverity:
+    def test_masked_site_has_zero_deviation(self, injector):
+        severity = SeverityInjector(injector)
+        # A predicate upper-flag flip is provably masked.
+        trace = injector.traces[0]
+        pred_index = next(i for i, (_pc, w) in enumerate(trace) if w == 4)
+        record = severity.inject(FaultSite(0, pred_index, 1))
+        assert record.outcome is Outcome.MASKED
+        assert record.corrupted_elements == 0
+        assert record.max_rel_error == 0.0
+
+    def test_sdc_site_quantified(self, injector):
+        severity = SeverityInjector(injector)
+        trace = injector.traces[0]
+        mad_index = max(
+            i for i, (pc, w) in enumerate(trace)
+            if w == 32 and injector.instance.program.instructions[pc].op == "mad"
+        )
+        record = severity.inject(FaultSite(0, mad_index, 23))
+        assert record.outcome is Outcome.SDC
+        assert record.corrupted_elements >= 1
+        assert record.total_elements == 12
+        assert record.max_rel_error > 0.0
+        assert 0 < record.corruption_fraction <= 1.0
+
+    def test_low_mantissa_bit_smaller_error_than_exponent_bit(self, injector):
+        severity = SeverityInjector(injector)
+        trace = injector.traces[0]
+        mad_index = max(
+            i for i, (pc, w) in enumerate(trace)
+            if w == 32 and injector.instance.program.instructions[pc].op == "mad"
+        )
+        low = severity.inject(FaultSite(0, mad_index, 1))
+        high = severity.inject(FaultSite(0, mad_index, 30))
+        if low.outcome is Outcome.SDC and high.outcome is Outcome.SDC:
+            assert low.max_rel_error < high.max_rel_error
+
+    def test_severity_matches_outcome_classification(self, injector):
+        """SeverityInjector must never disagree with the plain injector."""
+        severity = SeverityInjector(injector)
+        rng = np.random.default_rng(5)
+        for site in injector.space.sample(20, rng):
+            record = severity.inject(site)
+            assert record.outcome == injector.inject(site)
+            if record.outcome is not Outcome.SDC:
+                assert record.corrupted_elements == 0

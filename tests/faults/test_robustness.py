@@ -1,0 +1,59 @@
+"""Integration robustness: random campaigns never kill the simulator.
+
+Every injection over every kernel class must end in one of the four
+outcomes — no stray exceptions, regardless of what the corrupted state
+does (wild addresses, NaN math, broken loop counters, skipped barriers).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Outcome
+from tests.conftest import injector_for
+
+KERNEL_SAMPLE = [
+    "2dconv.k1",      # divergent stencil
+    "gemm.k1",        # uniform loop kernel
+    "pathfinder.k1",  # shared memory + barriers + loop
+    "lud.k46",        # data-dependent nested loops + barriers
+    "k-means.k2",     # nested loops + divergent min-update
+    "gaussian.k125",  # mostly-idle late invocation
+]
+
+
+@pytest.mark.parametrize("key", KERNEL_SAMPLE)
+def test_random_campaign_always_classifies(key):
+    injector = injector_for(key)
+    rng = np.random.default_rng(abs(hash(key)) % 2**32)
+    for site in injector.space.sample(25, rng):
+        outcome = injector.inject(site)
+        assert isinstance(outcome, Outcome)
+
+
+@pytest.mark.parametrize("key", ["pathfinder.k1", "lud.k46"])
+def test_barrier_kernels_survive_predicate_flips(key):
+    """Zero-flag flips change control flow around barriers; the scheduler
+    must resolve every resulting schedule (possibly as HANG), never
+    deadlock or crash the host."""
+    injector = injector_for(key)
+    pred_sites = []
+    for thread in range(min(4, injector.space.n_threads)):
+        for dyn_index, (_pc, width) in enumerate(injector.traces[thread]):
+            if width == 4:
+                pred_sites.extend(
+                    injector.space.sites_of_instruction(thread, dyn_index)
+                )
+    assert pred_sites
+    for site in pred_sites[:60]:
+        assert isinstance(injector.inject(site), Outcome)
+
+
+def test_outcome_counts_are_exhaustive_classification():
+    """Across a batch, outcomes always land in the four enum members."""
+    injector = injector_for("2dconv.k1")
+    rng = np.random.default_rng(1)
+    seen = set()
+    for site in injector.space.sample(120, rng):
+        seen.add(injector.inject(site))
+    assert seen <= set(Outcome)
+    assert Outcome.SDC in seen  # flips in a stencil always corrupt something

@@ -1,0 +1,184 @@
+"""Unit + property tests for opcode semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.alu import EXECUTORS, compare, condition_code, to_int
+from repro.gpu.isa import DataType, PRED_CARRY, PRED_SIGN, PRED_ZERO
+
+U32 = DataType.U32
+S32 = DataType.S32
+F32 = DataType.F32
+
+u32s = st.integers(min_value=0, max_value=2**32 - 1)
+s32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestIntegerArithmetic:
+    def test_add_wraps_u32(self):
+        assert EXECUTORS["add"](U32, 2**32 - 1, 1) == 0
+
+    def test_sub_wraps_u32(self):
+        assert EXECUTORS["sub"](U32, 0, 1) == 2**32 - 1
+
+    def test_add_wraps_s32(self):
+        assert EXECUTORS["add"](S32, 2**31 - 1, 1) == -(2**31)
+
+    def test_mul_wide_uses_low_halves(self):
+        assert EXECUTORS["mul.wide"](U32, 0x1_0003, 0x2_0005) == 15
+
+    def test_mad(self):
+        assert EXECUTORS["mad"](U32, 3, 4, 5) == 17
+
+    def test_div_by_zero_is_all_ones(self):
+        assert EXECUTORS["div"](U32, 7, 0) == 2**32 - 1
+        assert EXECUTORS["div"](S32, 7, 0) == -1
+
+    def test_div_truncates_toward_zero(self):
+        assert EXECUTORS["div"](S32, -7, 2) == -3
+        assert EXECUTORS["div"](S32, 7, -2) == -3
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert EXECUTORS["rem"](U32, 9, 0) == 9
+
+    def test_rem_sign_follows_dividend(self):
+        assert EXECUTORS["rem"](S32, -7, 2) == -1
+
+    def test_min_max(self):
+        assert EXECUTORS["min"](S32, -1, 1) == -1
+        assert EXECUTORS["max"](U32, 3, 5) == 5
+
+    def test_neg_abs(self):
+        assert EXECUTORS["neg"](S32, 5) == -5
+        assert EXECUTORS["abs"](S32, -5) == 5
+
+    @given(a=u32s, b=u32s)
+    def test_add_matches_modular_arithmetic(self, a, b):
+        assert EXECUTORS["add"](U32, a, b) == (a + b) % 2**32
+
+    @given(a=s32s, b=s32s)
+    def test_s32_results_stay_in_range(self, a, b):
+        for op in ("add", "sub", "mul"):
+            value = EXECUTORS[op](S32, a, b)
+            assert -(2**31) <= value < 2**31
+
+
+class TestShifts:
+    def test_shl(self):
+        assert EXECUTORS["shl"](U32, 1, 4) == 16
+
+    def test_shl_overshift_is_zero(self):
+        assert EXECUTORS["shl"](U32, 1, 32) == 0
+        assert EXECUTORS["shl"](U32, 1, 255) == 0
+
+    def test_huge_corrupted_shift_is_cheap(self):
+        # A bit flip can make the shift amount enormous; the ALU masks the
+        # count so it never materialises a million-bit Python integer.
+        assert EXECUTORS["shl"](U32, 0xFFFF, 2**31) == 0xFFFF  # 2**31 & 0xFF == 0
+        assert EXECUTORS["shl"](U32, 1, 64) == 0
+
+    def test_shr_unsigned(self):
+        assert EXECUTORS["shr"](U32, 0x80000000, 31) == 1
+
+    def test_shr_signed_fills_sign(self):
+        assert EXECUTORS["shr"](S32, -8, 1) == -4
+        assert EXECUTORS["shr"](S32, -1, 40) == -1
+
+    def test_shr_unsigned_overshift(self):
+        assert EXECUTORS["shr"](U32, 0xFFFFFFFF, 32) == 0
+
+
+class TestLogic:
+    def test_and_or_xor_not(self):
+        assert EXECUTORS["and"](U32, 0b1100, 0b1010) == 0b1000
+        assert EXECUTORS["or"](U32, 0b1100, 0b1010) == 0b1110
+        assert EXECUTORS["xor"](U32, 0b1100, 0b1010) == 0b0110
+        assert EXECUTORS["not"](U32, 0) == 0xFFFFFFFF
+
+
+class TestFloat:
+    def test_add_rounds_to_f32(self):
+        # 1 + 2^-30 is not representable in binary32.
+        assert EXECUTORS["add"](F32, 1.0, 2.0**-30) == 1.0
+
+    def test_mad_is_non_fused(self):
+        import numpy as np
+
+        a, b, c = 1.0000001, 1.0000001, -1.0
+        product = float(np.float32(np.float64(a) * np.float64(b)))
+        expected = float(np.float32(product + c))
+        assert EXECUTORS["mad"](F32, a, b, c) == expected
+
+    def test_rcp(self):
+        assert EXECUTORS["rcp"](F32, 2.0) == 0.5
+        assert EXECUTORS["rcp"](F32, 0.0) == math.inf
+
+    def test_div_zero_by_zero_is_nan(self):
+        assert math.isnan(EXECUTORS["div"](F32, 0.0, 0.0))
+
+    def test_div_by_zero_is_inf(self):
+        assert EXECUTORS["div"](F32, 1.0, 0.0) == math.inf
+
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(EXECUTORS["sqrt"](F32, -1.0))
+
+    def test_ex2_lg2(self):
+        assert EXECUTORS["ex2"](F32, 3.0) == 8.0
+        assert EXECUTORS["lg2"](F32, 8.0) == 3.0
+        assert EXECUTORS["lg2"](F32, 0.0) == -math.inf
+
+    def test_min_max_ignore_nan(self):
+        assert EXECUTORS["min"](F32, math.nan, 2.0) == 2.0
+        assert EXECUTORS["max"](F32, 1.0, math.nan) == 1.0
+
+    def test_float_overflow_saturates(self):
+        assert EXECUTORS["mul"](F32, 3e38, 3e38) == math.inf
+
+
+class TestCompareAndConditionCodes:
+    def test_compare_int(self):
+        assert compare("lt", S32, -1, 0)
+        assert not compare("gt", S32, -1, 0)
+        assert compare("ne", U32, 1, 2)
+
+    def test_compare_nan_is_false_except_ne(self):
+        assert not compare("eq", F32, math.nan, math.nan)
+        assert not compare("lt", F32, math.nan, 1.0)
+        assert compare("ne", F32, math.nan, 1.0)
+
+    def test_zero_flag_carries_comparison(self):
+        code = condition_code("eq", U32, 5, 5)
+        assert (code >> PRED_ZERO) & 1 == 1
+        code = condition_code("eq", U32, 5, 6)
+        assert (code >> PRED_ZERO) & 1 == 0
+
+    def test_sign_flag(self):
+        code = condition_code("eq", S32, 1, 5)
+        assert (code >> PRED_SIGN) & 1 == 1
+
+    def test_carry_flag_on_unsigned_borrow(self):
+        code = condition_code("eq", U32, 1, 5)
+        assert (code >> PRED_CARRY) & 1 == 1
+
+    @given(a=u32s, b=u32s, cmp=st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]))
+    def test_zero_flag_always_matches_compare(self, a, b, cmp):
+        code = condition_code(cmp, U32, a, b)
+        assert ((code >> PRED_ZERO) & 1) == int(compare(cmp, U32, a, b))
+
+
+class TestCoercion:
+    def test_to_int_truncates_floats(self):
+        assert to_int(3.9) == 3
+        assert to_int(-3.9) == -3
+
+    def test_to_int_of_nan_inf_is_zero(self):
+        assert to_int(math.nan) == 0
+        assert to_int(math.inf) == 0
+
+    def test_cvt_float_to_int(self):
+        assert EXECUTORS["cvt"](U32, 3.7) == 3
+
+    def test_cvt_int_to_float(self):
+        assert EXECUTORS["cvt"](F32, 3) == 3.0

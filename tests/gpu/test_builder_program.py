@@ -1,0 +1,220 @@
+"""Unit tests for the assembler DSL and program validation."""
+
+import pytest
+
+from repro.errors import InvalidProgram, KernelAuthoringError
+from repro.gpu import DataType, KernelBuilder, MemRef, Reg
+from repro.gpu.instruction import Guard, Instruction
+from repro.gpu.program import Program
+
+
+class TestBuilderDeclarations:
+    def test_reg_and_pred_namespaces_collide_loudly(self):
+        k = KernelBuilder("t")
+        k.reg("x")
+        with pytest.raises(KernelAuthoringError):
+            k.pred("x")
+        k.pred("p1")
+        with pytest.raises(KernelAuthoringError):
+            k.reg("p1")
+
+    def test_params_are_sequential_slots(self):
+        k = KernelBuilder("t")
+        a, b, c = k.params("a", "b", "c_f32")
+        assert (a.offset, b.offset, c.offset) == (0, 4, 8)
+        assert k.param_layout[2][1] is DataType.F32
+
+    def test_param_wide_types_rejected(self):
+        k = KernelBuilder("t")
+        with pytest.raises(KernelAuthoringError):
+            k.param("x", "u64")
+
+    def test_shared_alloc_accumulates(self):
+        k = KernelBuilder("t")
+        assert k.shared_alloc(64) == 0
+        assert k.shared_alloc(32) == 64
+        k.nop()
+        assert k.build().shared_bytes == 96
+
+
+class TestBuilderEmission:
+    def test_alu_methods_via_getattr(self):
+        k = KernelBuilder("t")
+        r = k.regs("a", "b")
+        k.add("u32", r.a, r.b, 1)
+        k.mul("f32", r.a, r.a, 2.0)
+        k.retp()
+        program = k.build()
+        assert program.instructions[0].op == "add"
+        assert program.instructions[1].dtype is DataType.F32
+
+    def test_unknown_opcode_attribute_error(self):
+        k = KernelBuilder("t")
+        with pytest.raises(AttributeError):
+            k.frobnicate
+
+    def test_raw_numbers_become_immediates(self):
+        k = KernelBuilder("t")
+        r = k.regs("a")
+        k.mov("u32", r.a, 7)
+        k.retp()
+        insn = k.build().instructions[0]
+        assert insn.srcs[0].value == 7
+
+    def test_bad_operand_rejected(self):
+        k = KernelBuilder("t")
+        r = k.regs("a")
+        with pytest.raises(KernelAuthoringError):
+            k.mov("u32", r.a, object())
+
+    def test_duplicate_label_rejected(self):
+        k = KernelBuilder("t")
+        k.label("L")
+        k.nop()
+        with pytest.raises(KernelAuthoringError):
+            k.label("L")
+
+    def test_two_labels_same_spot_rejected(self):
+        k = KernelBuilder("t")
+        k.label("A")
+        with pytest.raises(KernelAuthoringError):
+            k.label("B")
+
+    def test_trailing_label_gets_a_nop(self):
+        k = KernelBuilder("t")
+        r = k.regs("a")
+        p = k.pred()
+        k.set("eq", "u32", p, r.a, 0)
+        target = k.fresh_label()
+        k.bra(target, guard=(p, "eq"))
+        k.label(target)
+        program = k.build()
+        assert program.instructions[-1].op == "nop"
+
+
+class TestLoopSugar:
+    def test_loop_emits_backedge(self):
+        k = KernelBuilder("t")
+        r = k.regs("i", "acc")
+        with k.loop("u32", r.i, 0, 4):
+            k.add("u32", r.acc, r.acc, r.i)
+        k.retp()
+        program = k.build()
+        backedges = [
+            (i, insn)
+            for i, insn in enumerate(program.instructions)
+            if insn.op == "bra" and program.target_index(insn.target) <= i
+        ]
+        assert len(backedges) == 1
+
+    def test_if_block_guards_body(self):
+        k = KernelBuilder("t")
+        r = k.regs("a")
+        with k.if_lt("u32", r.a, 10):
+            k.add("u32", r.a, r.a, 1)
+        k.retp()
+        program = k.build()
+        assert program.instructions[1].op == "bra"
+        assert program.instructions[1].guard.cond == "ne"
+
+
+class TestProgramValidation:
+    def _insn(self, **kw):
+        return Instruction(**kw)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(InvalidProgram):
+            Program("t", (), {})
+
+    def test_unknown_branch_target(self):
+        bra = self._insn(op="bra", target="nowhere")
+        with pytest.raises(InvalidProgram):
+            Program("t", (bra,), {})
+
+    def test_missing_dest(self):
+        bad = self._insn(op="add", dtype=DataType.U32, srcs=(Reg("a"), Reg("b")))
+        with pytest.raises(InvalidProgram):
+            Program("t", (bad,), {})
+
+    def test_wrong_arity(self):
+        bad = self._insn(op="add", dtype=DataType.U32, dest=Reg("a"), srcs=(Reg("b"),))
+        with pytest.raises(InvalidProgram):
+            Program("t", (bad,), {})
+
+    def test_set_requires_cmp(self):
+        bad = self._insn(
+            op="set", dtype=DataType.U32, dest=Reg("a"), srcs=(Reg("b"), Reg("c"))
+        )
+        with pytest.raises(InvalidProgram):
+            Program("t", (bad,), {})
+
+    def test_shared_access_requires_shared_bytes(self):
+        ld = self._insn(
+            op="ld",
+            dtype=DataType.U32,
+            dest=Reg("a"),
+            srcs=(MemRef("shared", None, 0),),
+        )
+        with pytest.raises(InvalidProgram):
+            Program("t", (ld,), {})
+
+    def test_memory_operand_on_alu_rejected(self):
+        bad = self._insn(
+            op="add",
+            dtype=DataType.U32,
+            dest=Reg("a"),
+            srcs=(Reg("b"), MemRef("global", None, 0)),
+        )
+        with pytest.raises(InvalidProgram):
+            Program("t", (bad,), {})
+
+    def test_pred_dest_only_on_set_family(self):
+        bad = self._insn(
+            op="add",
+            dtype=DataType.U32,
+            dest=Reg("p0", kind="p"),
+            srcs=(Reg("a"), Reg("b")),
+        )
+        with pytest.raises(InvalidProgram):
+            Program("t", (bad,), {})
+
+    def test_listing_contains_labels_and_guards(self):
+        k = KernelBuilder("t")
+        r = k.regs("a")
+        p = k.pred()
+        k.set("eq", "u32", p, r.a, 0)
+        lbl = k.fresh_label()
+        k.bra(lbl, guard=(p, "eq"))
+        k.label(lbl)
+        k.retp()
+        listing = k.build().listing()
+        assert "@$p0.eq" in listing
+        assert f"{lbl}:" in listing
+
+
+class TestInstructionProperties:
+    def test_dest_width_follows_dtype(self):
+        insn = Instruction(op="add", dtype=DataType.U32, dest=Reg("a"), srcs=(Reg("b"), Reg("c")))
+        assert insn.dest_width == 32
+
+    def test_pred_dest_width_is_four(self):
+        insn = Instruction(
+            op="set", dtype=DataType.S32, dest=Reg("p0", kind="p"),
+            srcs=(Reg("a"), Reg("b")), cmp="eq",
+        )
+        assert insn.dest_width == 4
+
+    def test_no_dest_no_width(self):
+        insn = Instruction(op="bar.sync")
+        assert insn.dest_width == 0
+
+    def test_static_key_ignores_label(self):
+        a = Instruction(op="nop", label="X")
+        b = Instruction(op="nop")
+        assert a.static_key() == b.static_key()
+
+    def test_guard_validation(self):
+        with pytest.raises(ValueError):
+            Guard(Reg("r1"), "eq")  # not a predicate
+        with pytest.raises(ValueError):
+            Guard(Reg("p0", kind="p"), "lt")  # bad condition

@@ -1,0 +1,95 @@
+"""Unit tests for the ISA data definitions."""
+
+import pytest
+
+from repro.gpu.isa import (
+    CMP_OPS,
+    DataType,
+    Imm,
+    MemRef,
+    OPCODES,
+    Param,
+    Reg,
+    Special,
+    opcode_arity,
+    opcode_exists,
+    opcode_has_dest,
+)
+
+
+class TestDataType:
+    def test_widths(self):
+        assert DataType.U16.width == 16
+        assert DataType.U32.width == 32
+        assert DataType.S32.width == 32
+        assert DataType.U64.width == 64
+        assert DataType.F32.width == 32
+        assert DataType.F64.width == 64
+
+    def test_pred_is_four_bit_condition_code(self):
+        assert DataType.PRED.width == 4
+
+    def test_float_classification(self):
+        assert DataType.F32.is_float
+        assert DataType.F64.is_float
+        assert not DataType.U32.is_float
+        assert not DataType.PRED.is_float
+
+    def test_signed_classification(self):
+        assert DataType.S32.is_signed
+        assert DataType.S64.is_signed
+        assert not DataType.U32.is_signed
+        assert not DataType.F32.is_signed
+
+
+class TestOperands:
+    def test_reg_kinds(self):
+        assert not Reg("r1").is_pred
+        assert Reg("p0", kind="p").is_pred
+        # Name alone does not make a predicate.
+        assert not Reg("p0").is_pred
+
+    def test_reg_str(self):
+        assert str(Reg("acc")) == "$acc"
+
+    def test_imm_str_hex_for_nonnegative(self):
+        assert "0x" in str(Imm(16))
+        assert str(Imm(-3)) == "-3"
+
+    def test_special_str(self):
+        assert str(Special("tid", "x")) == "%tid.x"
+
+    def test_memref_str(self):
+        assert "global" in str(MemRef("global", Reg("a"), 4))
+        assert str(Param(16)) == "s[0x0010]"
+
+    def test_operands_are_hashable(self):
+        {Reg("a"), Imm(1), Special("tid", "x"), MemRef("global", None, 0), Param(0)}
+
+
+class TestOpcodeCatalogue:
+    def test_known_opcodes(self):
+        for op in ("mov", "ld", "st", "add", "mad", "bra", "bar.sync", "set"):
+            assert opcode_exists(op)
+
+    def test_unknown_opcode(self):
+        assert not opcode_exists("frobnicate")
+
+    def test_store_has_no_dest(self):
+        assert not opcode_has_dest("st")
+        assert not opcode_has_dest("bra")
+        assert opcode_has_dest("add")
+
+    def test_arities(self):
+        assert opcode_arity("mad") == 3
+        assert opcode_arity("st") == 2
+        assert opcode_arity("neg") == 1
+        assert opcode_arity("bar.sync") == 0
+
+    def test_cmp_ops_complete(self):
+        assert set(CMP_OPS) == {"eq", "ne", "lt", "le", "gt", "ge"}
+
+    def test_every_opcode_has_signature(self):
+        for op, (arity, has_dest) in OPCODES.items():
+            assert arity >= 0
+            assert isinstance(has_dest, bool)

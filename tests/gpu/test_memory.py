@@ -1,0 +1,143 @@
+"""Unit + property tests for the simulated memory spaces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.gpu.isa import DataType
+from repro.gpu.memory import (
+    GLOBAL_BASE,
+    GlobalMemory,
+    ParamMemory,
+    SharedMemory,
+    decode_value,
+    encode_value,
+)
+
+
+class TestEncodeDecode:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_u32_roundtrip(self, value):
+        assert decode_value(encode_value(value, DataType.U32), DataType.U32) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_s32_roundtrip(self, value):
+        assert decode_value(encode_value(value, DataType.S32), DataType.S32) == value
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_f32_roundtrip(self, value):
+        assert decode_value(encode_value(value, DataType.F32), DataType.F32) == value
+
+    @given(st.floats(allow_nan=False))
+    def test_f64_roundtrip(self, value):
+        assert decode_value(encode_value(value, DataType.F64), DataType.F64) == value
+
+    def test_encode_is_little_endian(self):
+        assert encode_value(1, DataType.U32) == b"\x01\x00\x00\x00"
+
+    def test_negative_int_twos_complement(self):
+        assert encode_value(-1, DataType.U32) == b"\xff\xff\xff\xff"
+
+
+class TestGlobalMemory:
+    def test_alloc_starts_above_base(self):
+        mem = GlobalMemory()
+        assert mem.alloc(64) >= GLOBAL_BASE
+
+    def test_allocations_do_not_overlap(self):
+        mem = GlobalMemory()
+        a = mem.alloc(100)
+        b = mem.alloc(100)
+        assert b >= a + 100
+
+    def test_null_access_faults(self):
+        mem = GlobalMemory()
+        mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.load(0, DataType.U32)
+
+    def test_out_of_allocation_faults(self):
+        mem = GlobalMemory()
+        base = mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.load(base + 16, DataType.U32)
+
+    def test_access_straddling_allocation_end_faults(self):
+        mem = GlobalMemory()
+        base = mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.load(base + 14, DataType.U32)
+
+    def test_store_load_roundtrip(self):
+        mem = GlobalMemory()
+        base = mem.alloc(16)
+        mem.store(base + 4, 0xDEADBEEF, DataType.U32)
+        assert mem.load(base + 4, DataType.U32) == 0xDEADBEEF
+
+    def test_write_log_records_stores(self):
+        mem = GlobalMemory()
+        base = mem.alloc(16)
+        log = []
+        mem.write_log = log
+        mem.store(base, 7, DataType.U32)
+        assert log == [(base, b"\x07\x00\x00\x00")]
+
+    def test_snapshot_is_independent(self):
+        mem = GlobalMemory()
+        base = mem.alloc(16)
+        mem.store(base, 1, DataType.U32)
+        snap = mem.snapshot()
+        mem.store(base, 2, DataType.U32)
+        assert snap.load(base, DataType.U32) == 1
+        assert mem.load(base, DataType.U32) == 2
+
+    def test_snapshot_shares_allocation_map(self):
+        mem = GlobalMemory()
+        base = mem.alloc(16)
+        snap = mem.snapshot()
+        snap.store(base, 5, DataType.U32)  # must not fault
+
+    def test_apply_writes_replays_log(self):
+        mem = GlobalMemory()
+        base = mem.alloc(8)
+        mem.apply_writes([(base, b"\x2a\x00\x00\x00")])
+        assert mem.load(base, DataType.U32) == 42
+
+    def test_apply_writes_checks_bounds(self):
+        mem = GlobalMemory()
+        mem.alloc(8)
+        with pytest.raises(MemoryFault):
+            mem.apply_writes([(0, b"\x00")])
+
+    def test_heap_exhaustion(self):
+        mem = GlobalMemory(size=GLOBAL_BASE + 64)
+        with pytest.raises(MemoryError):
+            mem.alloc(1 << 20)
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        shared = SharedMemory(64)
+        shared.store(8, 3.5, DataType.F32)
+        assert shared.load(8, DataType.F32) == 3.5
+
+    def test_negative_offset_faults(self):
+        shared = SharedMemory(64)
+        with pytest.raises(MemoryFault):
+            shared.load(-4, DataType.U32)
+
+    def test_past_end_faults(self):
+        shared = SharedMemory(64)
+        with pytest.raises(MemoryFault):
+            shared.store(64, 1, DataType.U32)
+
+
+class TestParamMemory:
+    def test_load(self):
+        params = ParamMemory(encode_value(123, DataType.U32))
+        assert params.load(0, DataType.U32) == 123
+
+    def test_out_of_range_faults(self):
+        params = ParamMemory(b"\x00" * 4)
+        with pytest.raises(MemoryFault):
+            params.load(4, DataType.U32)

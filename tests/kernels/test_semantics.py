@@ -1,0 +1,185 @@
+"""Cross-validation of workload semantics against independent libraries.
+
+The golden-run tests prove simulator == hand-written NumPy mirror; these
+prove the mirrors themselves compute the right *mathematics*, using
+independent implementations (numpy.linalg, scipy, networkx) with float
+tolerances.  Together they pin the full chain: simulator == mirror ==
+textbook algorithm.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.kernels import conv2d, gaussian, gemm, kmeans, lud, mvt, nn, pathfinder, syrk
+from repro.kernels.common import float_inputs
+
+
+class TestLinearAlgebra:
+    def test_gemm_matches_numpy(self):
+        rng = np.random.default_rng(gemm.SEED)
+        a = float_inputs(rng, (gemm.NI, gemm.NK))
+        b = float_inputs(rng, (gemm.NK, gemm.NJ))
+        c = float_inputs(rng, (gemm.NI, gemm.NJ))
+        ours = gemm.reference(a, b, c).astype(np.float64)
+        theirs = float(gemm.ALPHA) * (a.astype(np.float64) @ b) + float(
+            gemm.BETA
+        ) * c.astype(np.float64)
+        np.testing.assert_allclose(ours, theirs, rtol=1e-4)
+
+    def test_syrk_matches_numpy(self):
+        rng = np.random.default_rng(syrk.SEED)
+        a = float_inputs(rng, (syrk.N, syrk.M))
+        c = float_inputs(rng, (syrk.N, syrk.N))
+        ours = syrk.reference(a, c).astype(np.float64)
+        theirs = float(syrk.ALPHA) * (a.astype(np.float64) @ a.T.astype(np.float64))
+        theirs += float(syrk.BETA) * c
+        np.testing.assert_allclose(ours, theirs, rtol=1e-4)
+
+    def test_mvt_matches_numpy(self):
+        rng = np.random.default_rng(mvt.SEED)
+        a = float_inputs(rng, (mvt.N, mvt.N))
+        x1 = float_inputs(rng, mvt.N)
+        y1 = float_inputs(rng, mvt.N)
+        ours = mvt.reference(a, x1, y1).astype(np.float64)
+        theirs = x1.astype(np.float64) + a.astype(np.float64) @ y1
+        np.testing.assert_allclose(ours, theirs, rtol=1e-4)
+
+    def test_lud_diagonal_factors_reconstruct_block(self):
+        block = lud._stage_matrix()[: lud.BS, : lud.BS]
+        decomposed = lud.diagonal_reference(block).astype(np.float64)
+        lower = np.tril(decomposed, k=-1) + np.eye(lud.BS)
+        upper = np.triu(decomposed)
+        np.testing.assert_allclose(lower @ upper, block, rtol=1e-4)
+
+    def test_lud_full_step_reconstructs_matrix(self):
+        """After diagonal+perimeter+internal, the top-left factorisation
+        must reproduce the original strips: A01 = L00 @ U01, A10 = L10 @ U00."""
+        a0 = lud._stage_matrix().astype(np.float64)
+        a = lud._stage_matrix()
+        a[: lud.BS, : lud.BS] = lud.diagonal_reference(a[: lud.BS, : lud.BS])
+        a = lud.perimeter_reference(a)
+        dia = a[: lud.BS, : lud.BS].astype(np.float64)
+        l00 = np.tril(dia, k=-1) + np.eye(lud.BS)
+        u00 = np.triu(dia)
+        u01 = a[: lud.BS, lud.BS :].astype(np.float64)
+        l10 = a[lud.BS :, : lud.BS].astype(np.float64)
+        np.testing.assert_allclose(l00 @ u01, a0[: lud.BS, lud.BS :], rtol=1e-3)
+        np.testing.assert_allclose(l10 @ u00, a0[lud.BS :, : lud.BS], rtol=1e-3)
+
+    def test_gaussian_full_elimination_is_upper_triangular(self):
+        a, b, m = gaussian._stage_state(gaussian.SIZE - 1)
+        lower = np.tril(a.astype(np.float64), k=-1)
+        # Relative to the diagonally dominant scale (~SIZE), the lower
+        # triangle must be eliminated to rounding noise.
+        assert np.abs(lower).max() < 1e-3 * gaussian.SIZE
+
+    def test_gaussian_solution_matches_numpy_solve(self):
+        a0, b0, _ = gaussian._stage_state(0)
+        a, b, _m = gaussian._stage_state(gaussian.SIZE - 1)
+        x = np.linalg.solve(
+            np.triu(a.astype(np.float64)), b.astype(np.float64)
+        )
+        expected = np.linalg.solve(a0.astype(np.float64), b0.astype(np.float64))
+        np.testing.assert_allclose(x, expected, rtol=1e-2)
+
+
+class TestDistancesAndStencils:
+    def test_kmeans_membership_matches_cdist(self):
+        rng = np.random.default_rng(kmeans.SEED)
+        features, clusters = kmeans._stage_inputs(rng)
+        inverted = kmeans.reference_invert(features)
+        ours = kmeans.reference_membership(inverted, clusters)
+        dists = cdist(features.astype(np.float64), clusters.astype(np.float64))
+        theirs = dists.argmin(axis=1)
+        assert np.array_equal(ours, theirs)
+
+    def test_nn_distances_match_scipy(self):
+        rng = np.random.default_rng(nn.SEED)
+        locations = float_inputs(rng, (nn.N_RECORDS, 2))
+        ours = nn.reference(locations).astype(np.float64)
+        target = np.array([[float(nn.TARGET_LAT), float(nn.TARGET_LNG)]])
+        theirs = cdist(locations.astype(np.float64), target).ravel()
+        np.testing.assert_allclose(ours, theirs, rtol=1e-5)
+
+    def test_conv2d_matches_correlate(self):
+        from scipy.signal import correlate2d
+
+        rng = np.random.default_rng(conv2d.SEED)
+        a = float_inputs(rng, (conv2d.NI, conv2d.NJ))
+        ours = conv2d.reference(a).astype(np.float64)
+        kernel = np.array(conv2d.COEFFS, dtype=np.float64)
+        theirs = correlate2d(a.astype(np.float64), kernel, mode="same")
+        theirs[0, :] = theirs[-1, :] = 0.0
+        theirs[:, 0] = theirs[:, -1] = 0.0
+        np.testing.assert_allclose(ours, theirs, rtol=1e-4, atol=1e-6)
+
+    def test_pathfinder_matches_networkx_shortest_path(self):
+        rng = np.random.default_rng(pathfinder.SEED)
+        wall = rng.integers(
+            0, 10, size=(pathfinder.ROWS, pathfinder.COLS), dtype=np.uint32
+        )
+        ours = pathfinder.reference(wall)
+        bs = pathfinder.BLOCK[0]
+
+        # Build the tile-local DP as a DAG and let networkx find the
+        # cheapest path to each final-row column.
+        for cta in (0, pathfinder.GRID[0] - 1):
+            lo = cta * bs
+            graph = nx.DiGraph()
+            source = "s"
+            for c in range(bs):
+                graph.add_edge(source, (0, c), weight=int(wall[0, lo + c]))
+            for r in range(1, pathfinder.ROWS):
+                for c in range(bs):
+                    for dc in (-1, 0, 1):
+                        p = c + dc
+                        if 0 <= p < bs:
+                            graph.add_edge(
+                                (r - 1, p), (r, c), weight=int(wall[r, lo + c])
+                            )
+            lengths = nx.single_source_dijkstra_path_length(graph, source)
+            for c in range(bs):
+                assert ours[lo + c] == lengths[(pathfinder.ROWS - 1, c)]
+
+
+class TestHotSpotPhysics:
+    def test_interior_update_matches_explicit_formula(self):
+        from repro.kernels import hotspot
+
+        rng = np.random.default_rng(hotspot.SEED)
+        temp = float_inputs(rng, (hotspot.NY, hotspot.NX), lo=70.0, hi=90.0)
+        power = float_inputs(rng, (hotspot.NY, hotspot.NX), lo=0.0, hi=2.0)
+        out = hotspot.reference(temp, power).astype(np.float64)
+
+        # One step by the textbook formula, interior of the centre tile
+        # (away from tile and grid boundaries) — after the SECOND step the
+        # values depend on updated neighbours, so recompute both steps.
+        t64 = temp.astype(np.float64)
+        p64 = power.astype(np.float64)
+        bx, by = hotspot.BLOCK
+        cx, cy = 1, 1  # centre CTA
+        tile = t64[cy * by : (cy + 1) * by, cx * bx : (cx + 1) * bx].copy()
+        for _ in range(hotspot.TIME_STEPS):
+            new = tile.copy()
+            for ty in range(1, by - 1):
+                for tx in range(1, bx - 1):
+                    gx, gy = cx * bx + tx, cy * by + ty
+                    center = tile[ty, tx]
+                    acc = p64[gy, gx]
+                    acc += (tile[ty - 1, tx] + tile[ty + 1, tx] - 2 * center) * float(
+                        hotspot.RY1
+                    )
+                    acc += (tile[ty, tx - 1] + tile[ty, tx + 1] - 2 * center) * float(
+                        hotspot.RX1
+                    )
+                    acc += (float(hotspot.AMB) - center) * float(hotspot.RZ1)
+                    new[ty, tx] = center + acc * float(hotspot.STEP_DIV_CAP)
+            # Edges of the tile use cross-tile/stale values; leave them to
+            # the mirror (we only check the strict interior below).
+            tile[1 : by - 1, 1 : bx - 1] = new[1 : by - 1, 1 : bx - 1]
+
+        interior = np.s_[cy * by + 2 : (cy + 1) * by - 2, cx * bx + 2 : (cx + 1) * bx - 2]
+        tile_interior = tile[2 : by - 2, 2 : bx - 2]
+        np.testing.assert_allclose(out[interior], tile_interior, rtol=1e-3)

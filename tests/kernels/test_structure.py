@@ -1,0 +1,107 @@
+"""Structural-feature tests: the properties the pruning methodology keys on.
+
+These pin the workload structure the paper's observations rely on — iCnt
+classes, loop presence, divergence shape — so a kernel edit that silently
+destroys the structure fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pruning import find_static_loops, loop_statistics
+from tests.conftest import injector_for
+
+
+def icnt_classes(injector):
+    return sorted({len(t) for t in injector.traces})
+
+
+class TestSingleGroupKernels:
+    """GEMM/SYRK/2MM/MVT/NN/LUD-K45: one iCnt class -> one representative."""
+
+    @pytest.mark.parametrize("key", ["gemm.k1", "syrk.k1", "2mm.k1", "mvt.k1", "nn.k1", "lud.k45"])
+    def test_uniform_icnt(self, key):
+        assert len(icnt_classes(injector_for(key))) == 1
+
+
+class TestDivergentKernels:
+    def test_2dconv_has_border_and_interior_classes(self):
+        classes = icnt_classes(injector_for("2dconv.k1"))
+        assert len(classes) >= 3
+        # Border threads run far fewer instructions than interior ones.
+        assert classes[-1] > 3 * classes[0]
+
+    def test_pathfinder_has_two_classes_with_small_gap(self):
+        # Paper Fig. 5: two representatives, 17 instructions apart.
+        classes = icnt_classes(injector_for("pathfinder.k1"))
+        assert len(classes) == 2
+        assert 0 < classes[1] - classes[0] < 40
+
+    def test_hotspot_has_many_classes(self):
+        assert len(icnt_classes(injector_for("hotspot.k1"))) >= 4
+
+    def test_lud_diagonal_every_thread_distinct(self):
+        inj = injector_for("lud.k46")
+        icnts = [len(t) for t in inj.traces]
+        assert len(set(icnts)) == len(icnts)
+
+    def test_gaussian_late_step_has_fewer_active_threads(self):
+        early = injector_for("gaussian.k1")
+        late = injector_for("gaussian.k125")
+        def active(inj):
+            classes = icnt_classes(inj)
+            return sum(1 for t in inj.traces if len(t) == classes[-1])
+        assert active(late) < active(early)
+
+
+class TestLoops:
+    @pytest.mark.parametrize(
+        "key", ["hotspot.k1", "2dconv.k1", "nn.k1", "gaussian.k1", "gaussian.k2", "lud.k45"]
+    )
+    def test_loop_free_kernels(self, key):
+        inj = injector_for(key)
+        iters, share = loop_statistics(inj.instance.program, inj.traces)
+        assert iters == 0
+        assert share == 0.0
+
+    @pytest.mark.parametrize(
+        "key,min_share",
+        [
+            ("mvt.k1", 95.0),
+            ("gemm.k1", 80.0),
+            ("syrk.k1", 80.0),
+            ("2mm.k1", 80.0),
+            ("pathfinder.k1", 80.0),
+            ("k-means.k2", 80.0),
+            ("k-means.k1", 50.0),
+        ],
+    )
+    def test_loop_heavy_kernels(self, key, min_share):
+        inj = injector_for(key)
+        iters, share = loop_statistics(inj.instance.program, inj.traces)
+        assert iters > 0
+        assert share >= min_share
+
+    def test_kmeans_k2_has_nested_loops(self):
+        inj = injector_for("k-means.k2")
+        loops = find_static_loops(inj.instance.program)
+        assert len(loops) == 2
+        outer, inner = sorted(loops, key=lambda l: l.header)
+        assert outer.contains(inner)
+
+
+class TestFaultSiteScale:
+    def test_sites_match_eq1(self):
+        """Eq. 1: total sites == sum of dest widths over all dynamic instrs."""
+        inj = injector_for("gemm.k1")
+        manual = sum(w for trace in inj.traces for _, w in trace)
+        assert inj.space.total_sites == manual
+
+    def test_paper_metadata_present_for_table1_kernels(self):
+        from repro import all_kernels
+
+        for spec in all_kernels():
+            if spec.key == "nn.k1":
+                continue  # Table VII only
+            assert spec.paper_threads is not None
+            assert spec.paper_fault_sites is not None

@@ -1,0 +1,58 @@
+"""Adaptive loop-iteration selection tests (paper III-D closing remark)."""
+
+import pytest
+
+from repro import FaultInjector
+from repro.pruning import ProgressivePruner, stable_loop_iterations
+from tests.conftest import injector_for
+from tests.helpers import build_loop_sum_instance
+
+
+class TestStableLoopIterations:
+    def test_uniform_loop_stabilises_immediately(self):
+        """loop_sum's iterations are identical, so the profile is flat and
+        the sweep stops at the earliest allowed point."""
+        injector = FaultInjector(build_loop_sum_instance(n_threads=2, iters=8))
+        sweep = stable_loop_iterations(
+            injector,
+            epsilon=2.0,
+            patience=2,
+            max_iter=8,
+            pruner=ProgressivePruner(n_bits=4),
+        )
+        assert sweep.chosen_num_iter <= 4
+        assert sweep.chosen_profile.n_injections > 0
+
+    def test_history_is_monotone_in_num_iter(self):
+        injector = FaultInjector(build_loop_sum_instance(n_threads=2, iters=8))
+        sweep = stable_loop_iterations(
+            injector, max_iter=5, pruner=ProgressivePruner(n_bits=4)
+        )
+        nums = [n for n, _ in sweep.history()]
+        assert nums == sorted(nums)
+        assert nums[0] == 1
+
+    def test_spaces_grow_with_num_iter(self):
+        injector = injector_for("gemm.k1")
+        sweep = stable_loop_iterations(
+            injector,
+            epsilon=100.0,  # stop ASAP; we only inspect the first two steps
+            patience=1,
+            max_iter=4,
+            pruner=ProgressivePruner(n_bits=4),
+        )
+        if len(sweep.spaces) >= 2:
+            sizes = [sweep.spaces[n].n_injections for n in sorted(sweep.spaces)]
+            assert sizes[0] <= sizes[-1]
+
+    def test_chosen_profile_close_to_fixed_high_setting(self):
+        injector = injector_for("pathfinder.k1")
+        sweep = stable_loop_iterations(
+            injector, epsilon=3.0, patience=2, max_iter=8,
+            pruner=ProgressivePruner(n_bits=4),
+        )
+        reference = ProgressivePruner(n_bits=4, num_loop_iters=8).prune(injector)
+        ref_profile = reference.estimate_profile(injector)
+        assert sweep.chosen_profile.max_abs_error(ref_profile) < 8.0
+        # The paper lands between 3 and 15 sampled iterations.
+        assert 2 <= sweep.chosen_num_iter <= 15

@@ -1,0 +1,72 @@
+"""Stage-4 (bit-wise) pruning tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PruningError
+from repro.pruning import plan_bits, sampled_bit_positions
+
+
+class TestSampledPositions:
+    def test_paper_rule_8_of_32(self):
+        """Paper Section III-E: 2 per 8-bit section -> {3,7,...,31}."""
+        assert sampled_bit_positions(32, 8) == [3, 7, 11, 15, 19, 23, 27, 31]
+
+    def test_16_of_32(self):
+        assert sampled_bit_positions(32, 16) == list(range(1, 32, 2))
+
+    def test_4_of_32(self):
+        assert sampled_bit_positions(32, 4) == [7, 15, 23, 31]
+
+    def test_all_when_n_exceeds_width(self):
+        assert sampled_bit_positions(16, 32) == list(range(16))
+
+    def test_invalid_n(self):
+        with pytest.raises(PruningError):
+            sampled_bit_positions(32, 0)
+
+    @given(
+        width=st.sampled_from([4, 16, 32, 64]),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    def test_positions_valid_and_distinct(self, width, n):
+        positions = sampled_bit_positions(width, n)
+        assert len(set(positions)) == len(positions)
+        assert all(0 <= p < width for p in positions)
+
+    @given(width=st.sampled_from([16, 32, 64]))
+    def test_msb_always_sampled(self, width):
+        for n in (2, 4, 8):
+            assert (width - 1) in sampled_bit_positions(width, n)
+
+
+class TestPlanBits:
+    def test_u32_plan_weights(self):
+        plan = plan_bits(32, 16)
+        assert len(plan.kept_bits) == 16
+        assert plan.weight_per_bit == 2.0
+        assert plan.static_masked_bits == 0
+
+    def test_pred_plan_keeps_zero_flag_only(self):
+        plan = plan_bits(4, 16)
+        assert plan.kept_bits == (0,)
+        assert plan.static_masked_bits == 3
+        assert plan.weight_per_bit == 1.0
+
+    def test_pred_flag_pruning_can_be_disabled(self):
+        plan = plan_bits(4, 16, pred_flags_masked=False)
+        assert len(plan.kept_bits) == 4
+        assert plan.static_masked_bits == 0
+
+    @given(
+        width=st.sampled_from([16, 32, 64]),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    def test_weight_conservation(self, width, n):
+        plan = plan_bits(width, n)
+        total = plan.weight_per_bit * len(plan.kept_bits) + plan.static_masked_bits
+        assert total == pytest.approx(width)
+
+    def test_pred_weight_conservation(self):
+        plan = plan_bits(4, 16)
+        assert plan.weight_per_bit * len(plan.kept_bits) + plan.static_masked_bits == 4

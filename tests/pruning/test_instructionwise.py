@@ -1,0 +1,149 @@
+"""Stage-2 (instruction-wise) pruning tests."""
+
+import pytest
+
+from repro.pruning import prune_instructions, prune_threads
+from repro.gpu.tracing import static_key_sequence
+from tests.conftest import injector_for
+
+
+def _reps(injector):
+    tw = prune_threads(injector.traces, injector.instance.geometry)
+    return tw.representatives
+
+
+class TestPathFinder:
+    """The paper's Fig. 5 example: two reps sharing almost all code."""
+
+    def test_large_common_fraction(self, pathfinder_injector):
+        reps = _reps(pathfinder_injector)
+        iw = prune_instructions(
+            pathfinder_injector.instance.program, pathfinder_injector.traces, reps
+        )
+        assert iw.applicable
+        assert iw.common_fraction(pathfinder_injector.traces) > 0.35
+
+    def test_donor_keeps_everything(self, pathfinder_injector):
+        reps = _reps(pathfinder_injector)
+        iw = prune_instructions(
+            pathfinder_injector.instance.program, pathfinder_injector.traces, reps
+        )
+        donor = max(reps, key=lambda t: len(pathfinder_injector.traces[t]))
+        assert iw.kept[donor] == [(0, len(pathfinder_injector.traces[donor]))]
+
+    def test_borrowed_blocks_have_identical_keys(self, pathfinder_injector):
+        program = pathfinder_injector.instance.program
+        traces = pathfinder_injector.traces
+        iw = prune_instructions(program, traces, _reps(pathfinder_injector))
+        for block in iw.borrowed:
+            own = static_key_sequence(program, traces[block.thread])
+            donor = static_key_sequence(program, traces[block.donor])
+            assert (
+                own[block.lo : block.lo + block.size]
+                == donor[block.donor_lo : block.donor_lo + block.size]
+            )
+
+    def test_kept_plus_borrowed_partition_the_trace(self, pathfinder_injector):
+        traces = pathfinder_injector.traces
+        iw = prune_instructions(
+            pathfinder_injector.instance.program, traces, _reps(pathfinder_injector)
+        )
+        for thread, ranges in iw.kept.items():
+            covered = set()
+            for lo, hi in ranges:
+                covered.update(range(lo, hi))
+            for block in iw.borrowed:
+                if block.thread == thread:
+                    span = set(range(block.lo, block.lo + block.size))
+                    assert not span & covered
+                    covered |= span
+            assert covered == set(range(len(traces[thread])))
+
+
+class TestApplicabilityRules:
+    def test_single_representative_keeps_everything(self, gemm_injector):
+        reps = _reps(gemm_injector)
+        assert len(reps) == 1
+        iw = prune_instructions(
+            gemm_injector.instance.program, gemm_injector.traces, reps
+        )
+        assert not iw.applicable
+        assert iw.borrowed == []
+
+    def test_tiny_thread_not_pruned_against_huge_donor(self, gaussian_k1_injector):
+        # Gaussian K1's short (guard-fail) thread shares only the prologue;
+        # below the threshold it must be kept whole (paper: "not
+        # applicable ... leaving few opportunities").
+        inj = gaussian_k1_injector
+        reps = _reps(inj)
+        iw = prune_instructions(
+            inj.instance.program, inj.traces, reps, min_common_fraction=0.9
+        )
+        short = min(reps, key=lambda t: len(inj.traces[t]))
+        assert iw.kept[short] == [(0, len(inj.traces[short]))]
+
+    def test_min_block_filters_coincidences(self, pathfinder_injector):
+        inj = pathfinder_injector
+        strict = prune_instructions(
+            inj.instance.program, inj.traces, _reps(inj), min_block=10_000
+        )
+        assert strict.borrowed == []
+
+
+class TestWeightsSafety:
+    def test_widths_match_across_borrowed_blocks(self, pathfinder_injector):
+        """A borrowed dynamic instruction must have the donor's width
+        whenever both executed (else progressive pruning keeps the copy)."""
+        traces = pathfinder_injector.traces
+        iw = prune_instructions(
+            pathfinder_injector.instance.program, traces, _reps(pathfinder_injector)
+        )
+        mismatches = 0
+        total = 0
+        for block in iw.borrowed:
+            for off in range(block.size):
+                w_own = traces[block.thread][block.lo + off][1]
+                w_don = traces[block.donor][block.donor_lo + off][1]
+                total += 1
+                if w_own != w_don:
+                    mismatches += 1
+        assert total > 0
+        assert mismatches / total < 0.25
+
+
+class TestShortThreadRule:
+    """Paper III-C: short representatives are not partially pruned."""
+
+    def test_short_idle_thread_keeps_own_sites(self, gaussian_k1_injector):
+        inj = gaussian_k1_injector
+        from repro.pruning import prune_threads
+
+        tw = prune_threads(inj.traces, inj.instance.geometry)
+        iw = prune_instructions(inj.instance.program, inj.traces, tw.representatives)
+        for rep in tw.representatives:
+            own_len = len(inj.traces[rep])
+            if own_len < 10:
+                # A short thread may only be pruned against an *identical*
+                # donor; a longer active thread never qualifies.
+                for block in iw.borrowed:
+                    if block.thread == rep:
+                        donor_len = len(inj.traces[block.donor])
+                        assert donor_len == own_len
+
+    def test_identical_short_threads_still_share(self):
+        """Two byte-identical short traces may borrow from each other."""
+        from repro.gpu import KernelBuilder
+
+        k = KernelBuilder("twins")
+        r = k.regs("a")
+        k.mov("u32", r.a, 1)
+        k.add("u32", r.a, r.a, 2)
+        k.mul("u32", r.a, r.a, 3)
+        k.add("u32", r.a, r.a, 4)
+        k.retp()
+        program = k.build()
+        trace = [(i, 32) for i in range(4)] + [(4, 0)]
+        traces = [list(trace), list(trace)]
+        iw = prune_instructions(program, traces, [0, 1], min_block=2)
+        assert iw.applicable
+        assert sum(b.size for b in iw.borrowed) == len(trace)

@@ -1,0 +1,147 @@
+"""Stage-3 (loop-wise) pruning tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import KernelBuilder
+from repro.pruning import (
+    build_loop_tree,
+    find_static_loops,
+    iteration_spans,
+    loop_statistics,
+    prune_loops,
+)
+from tests.conftest import injector_for
+from tests.helpers import build_loop_sum_instance
+
+from repro import FaultInjector
+
+
+@pytest.fixture(scope="module")
+def loop_sum():
+    return FaultInjector(build_loop_sum_instance(n_threads=2, iters=8))
+
+
+class TestStaticDetection:
+    def test_simple_loop_found(self, loop_sum):
+        loops = find_static_loops(loop_sum.instance.program)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header < loop.backedge
+
+    def test_loop_free_program(self):
+        k = KernelBuilder("t")
+        r = k.regs("a")
+        k.mov("u32", r.a, 1)
+        k.retp()
+        assert find_static_loops(k.build()) == []
+
+    def test_nested_tree(self, kmeans_k2_injector):
+        tree = build_loop_tree(kmeans_k2_injector.instance.program)
+        assert len(tree.children) == 1  # one top-level (cluster) loop
+        assert len(tree.children[0].children) == 1  # feature loop inside
+
+
+class TestIterationSpans:
+    def test_span_count_matches_trip_count(self, loop_sum):
+        loop = find_static_loops(loop_sum.instance.program)[0]
+        trace = loop_sum.traces[0]
+        spans = iteration_spans(trace, loop, 0, len(trace))
+        assert len(spans) == 8
+
+    def test_spans_are_contiguous(self, loop_sum):
+        loop = find_static_loops(loop_sum.instance.program)[0]
+        trace = loop_sum.traces[0]
+        spans = iteration_spans(trace, loop, 0, len(trace))
+        for a, b in zip(spans, spans[1:]):
+            assert a.hi == b.lo
+
+    def test_spans_start_at_header(self, loop_sum):
+        loop = find_static_loops(loop_sum.instance.program)[0]
+        trace = loop_sum.traces[0]
+        for span in iteration_spans(trace, loop, 0, len(trace)):
+            assert trace[span.lo][0] == loop.header
+
+
+class TestPruneLoops:
+    def test_sampling_keeps_requested_iterations(self, loop_sum):
+        rng = np.random.default_rng(0)
+        lw = prune_loops(
+            loop_sum.instance.program, loop_sum.traces, [0], num_iter=3, rng=rng
+        )
+        loop = find_static_loops(loop_sum.instance.program)[0]
+        trace = loop_sum.traces[0]
+        spans = iteration_spans(trace, loop, 0, len(trace))
+        kept = lw.kept(0)
+        kept_iterations = sum(
+            1 for s in spans if any(i in kept for i in range(s.lo, s.hi))
+        )
+        assert kept_iterations == 3
+
+    def test_multiplier_scales_by_total_over_kept(self, loop_sum):
+        rng = np.random.default_rng(0)
+        lw = prune_loops(
+            loop_sum.instance.program, loop_sum.traces, [0], num_iter=2, rng=rng
+        )
+        loop = find_static_loops(loop_sum.instance.program)[0]
+        trace = loop_sum.traces[0]
+        span = iteration_spans(trace, loop, 0, len(trace))[0]
+        kept = lw.kept(0)
+        in_loop_multipliers = {
+            kept[i]
+            for s in iteration_spans(trace, loop, 0, len(trace))
+            for i in range(s.lo, s.hi)
+            if i in kept
+        }
+        assert in_loop_multipliers == {8 / 2}
+
+    def test_outside_loop_kept_with_unit_weight(self, loop_sum):
+        rng = np.random.default_rng(0)
+        lw = prune_loops(
+            loop_sum.instance.program, loop_sum.traces, [0], num_iter=2, rng=rng
+        )
+        kept = lw.kept(0)
+        # The prologue (before the loop header) is always kept at weight 1.
+        assert kept[0] == 1.0
+
+    def test_weight_conservation_for_uniform_iterations(self, loop_sum):
+        """All iterations of loop_sum execute the same instructions, so the
+        sampled weights must add back to the exact dynamic count."""
+        rng = np.random.default_rng(1)
+        lw = prune_loops(
+            loop_sum.instance.program, loop_sum.traces, [0], num_iter=3, rng=rng
+        )
+        kept = lw.kept(0)
+        assert sum(kept.values()) == pytest.approx(len(loop_sum.traces[0]))
+
+    def test_sampling_more_than_available_keeps_all(self, loop_sum):
+        rng = np.random.default_rng(0)
+        lw = prune_loops(
+            loop_sum.instance.program, loop_sum.traces, [0], num_iter=99, rng=rng
+        )
+        kept = lw.kept(0)
+        assert set(kept) == set(range(len(loop_sum.traces[0])))
+        assert all(v == 1.0 for v in kept.values())
+
+    def test_nested_loops_multiply_factors(self, kmeans_k2_injector):
+        inj = kmeans_k2_injector
+        busy = max(range(len(inj.traces)), key=lambda t: len(inj.traces[t]))
+        rng = np.random.default_rng(0)
+        lw = prune_loops(inj.instance.program, inj.traces, [busy], num_iter=2, rng=rng)
+        kept = lw.kept(busy)
+        factors = sorted(set(kept.values()))
+        assert 1.0 in factors  # prologue
+        assert 2.0 in factors  # outer loop: 4 iterations / 2 kept
+        assert 6.0 in factors  # inner within outer: (4/2) * (6/2)
+
+
+class TestLoopStatistics:
+    def test_table7_shape_for_mvt(self):
+        inj = injector_for("mvt.k1")
+        iters, share = loop_statistics(inj.instance.program, inj.traces)
+        assert iters == 48  # one iteration per matrix column
+        assert share > 95.0
+
+    def test_table7_zero_for_hotspot(self):
+        inj = injector_for("hotspot.k1")
+        assert loop_statistics(inj.instance.program, inj.traces) == (0, 0.0)

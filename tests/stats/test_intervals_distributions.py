@@ -1,0 +1,100 @@
+"""Tests for confidence intervals and grouping statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.stats import (
+    BoxStats,
+    box_distance,
+    group_by_distance,
+    histogram_signature,
+    proportion_ci,
+    wilson_ci,
+)
+
+
+class TestProportionCI:
+    def test_half_proportion(self):
+        ci = proportion_ci(50, 100, confidence=0.95)
+        assert ci.estimate == 0.5
+        assert ci.half_width == pytest.approx(1.96 * 0.05, abs=1e-3)
+
+    def test_contains(self):
+        ci = proportion_ci(50, 100)
+        assert ci.contains(0.5)
+        assert not ci.contains(0.9)
+
+    def test_clipped_to_unit_interval(self):
+        ci = proportion_ci(0, 10)
+        assert ci.low == 0.0
+        ci = proportion_ci(10, 10)
+        assert ci.high == 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError):
+            proportion_ci(0, 0)
+
+    @given(
+        successes=st.integers(min_value=0, max_value=100),
+    )
+    def test_wilson_always_inside_unit_interval(self, successes):
+        ci = wilson_ci(successes, 100)
+        assert 0.0 <= ci.low <= ci.estimate <= ci.high <= 1.0 or (
+            0.0 <= ci.low <= ci.high <= 1.0
+        )
+
+    def test_wilson_narrower_near_edge(self):
+        wald = proportion_ci(1, 100)
+        wilson = wilson_ci(1, 100)
+        assert wilson.low > 0.0 or wald.low == 0.0
+
+
+class TestBoxStats:
+    def test_from_values(self):
+        box = BoxStats.from_values([1, 2, 3, 4, 5])
+        assert box.minimum == 1
+        assert box.median == 3
+        assert box.maximum == 5
+        assert box.mean == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            BoxStats.from_values([])
+
+    def test_distance_zero_for_identical(self):
+        a = BoxStats.from_values([1, 2, 3])
+        assert box_distance(a, a) == 0.0
+
+    def test_distance_reflects_shift(self):
+        a = BoxStats.from_values([1, 2, 3])
+        b = BoxStats.from_values([11, 12, 13])
+        assert box_distance(a, b) == 10.0
+
+
+class TestGroupByDistance:
+    def test_groups_identical_items(self):
+        groups = group_by_distance([1.0, 1.0, 5.0], lambda a, b: abs(a - b), 0.5)
+        assert groups == [[0, 1], [2]]
+
+    def test_threshold_zero_splits_everything_distinct(self):
+        groups = group_by_distance([1.0, 1.1, 1.2], lambda a, b: abs(a - b), 0.0)
+        assert len(groups) == 3
+
+    def test_greedy_assignment_to_first_exemplar(self):
+        groups = group_by_distance([1.0, 1.4, 1.8], lambda a, b: abs(a - b), 0.5)
+        # 1.8 is within 0.5 of nothing's exemplar except... 1.4 joined 1.0's
+        # group, so the exemplar stays 1.0 and 1.8 founds its own group.
+        assert groups == [[0, 1], [2]]
+
+    def test_empty_input(self):
+        assert group_by_distance([], lambda a, b: 0, 1.0) == []
+
+
+class TestHistogramSignature:
+    def test_exact_multiset(self):
+        assert histogram_signature([1, 1, 2]) == ((1.0, 2), (2.0, 1))
+
+    def test_order_independent(self):
+        assert histogram_signature([3, 1, 2]) == histogram_signature([2, 3, 1])

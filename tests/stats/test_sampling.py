@@ -1,0 +1,84 @@
+"""Tests for the Leveugle sample-size equations — pinned to Table II."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.stats import (
+    BaselinePlan,
+    sample_size_finite,
+    sample_size_infinite,
+    sample_size_worst_case,
+    z_score,
+)
+
+
+class TestZScore:
+    def test_standard_quantiles(self):
+        assert z_score(0.95) == pytest.approx(1.96, abs=1e-3)
+        assert z_score(0.99) == pytest.approx(2.5758, abs=1e-3)
+        assert z_score(0.998) == pytest.approx(3.0902, abs=1e-3)
+
+    def test_approximation_matches_table_values(self):
+        # Exercise the rational approximation on a non-tabled level.
+        assert z_score(0.9545) == pytest.approx(2.0, abs=2e-3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ReproError):
+            z_score(1.5)
+
+
+class TestPaperNumbers:
+    def test_table2_ground_truth_row(self):
+        """99.8% CI, ±0.63% error margin -> ~60K runs (the paper's 60,181)."""
+        n = sample_size_worst_case(error_margin=0.0063, confidence=0.998)
+        assert 59_000 < n < 61_000
+
+    def test_table2_quick_row(self):
+        """95% CI, ±3% -> ~1K runs (the paper's 1,062)."""
+        n = sample_size_worst_case(error_margin=0.03, confidence=0.95)
+        assert 1_000 < n < 1_100
+
+    def test_eq3_limit_of_eq2(self):
+        """For a huge population Eq. 2 approaches Eq. 3."""
+        finite = sample_size_finite(10**9, 0.03, 0.95, p=0.5)
+        infinite = sample_size_infinite(0.03, 0.95, p=0.5)
+        assert abs(finite - infinite) <= 1
+
+    def test_eq4_is_worst_case_over_p(self):
+        for p in (0.1, 0.3, 0.7, 0.9):
+            assert sample_size_infinite(0.03, 0.95, p=p) <= sample_size_worst_case(
+                0.03, 0.95
+            )
+
+
+class TestSampleSizeFinite:
+    def test_small_population_caps_n(self):
+        n = sample_size_finite(100, 0.03, 0.95)
+        assert n <= 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            sample_size_finite(0, 0.03, 0.95)
+        with pytest.raises(ReproError):
+            sample_size_finite(100, 0.0, 0.95)
+        with pytest.raises(ReproError):
+            sample_size_infinite(1.5, 0.95)
+
+
+class TestBaselinePlan:
+    def test_plan_never_exceeds_population(self):
+        plan = BaselinePlan(population=500, confidence=0.998, error_margin=0.0063)
+        assert plan.n_runs == 500
+
+    def test_plan_matches_worst_case_for_big_population(self):
+        plan = BaselinePlan(population=10**9, confidence=0.95, error_margin=0.03)
+        assert plan.n_runs == sample_size_worst_case(0.03, 0.95)
+
+    def test_estimated_time(self):
+        plan = BaselinePlan(population=10**9, confidence=0.95, error_margin=0.03)
+        assert plan.estimated_time(60.0) == pytest.approx(plan.n_runs * 60.0)
+
+    def test_paper_gemm_estimate(self):
+        """Table II: 7.73E8 sites at one minute each ~ 1331 years."""
+        years = 7.73e8 * 60 / (3600 * 24 * 365)
+        assert 1300 < years < 1500

@@ -1,0 +1,37 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_stages_command(capsys):
+    assert main(["stages", "gaussian.k1", "--bits", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "thread-wise" in out
+    assert "bit-wise" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "gaussian.k125", "--bits", "4", "--loop-iters", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "masked=" in out
+    assert "x)" in out  # reduction factor
+
+
+def test_baseline_command(capsys):
+    assert main(["baseline", "gaussian.k1", "--margin", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "random injections" in out
+
+
+def test_unknown_kernel_fails_loudly():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        main(["profile", "bogus.k1"])
+
+
+def test_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
