@@ -12,7 +12,6 @@ from collections import defaultdict
 import numpy as np
 
 from repro.faults import FaultSite, ResilienceProfile
-from repro.gpu.isa import DataType
 from repro.pruning import prune_threads
 
 from benchmarks.common import emit, injector_for

@@ -15,13 +15,14 @@ Two cost profiles:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro import FaultInjector, ProgressivePruner, load_instance, random_campaign
 from repro.faults import CampaignResult
 from repro.pruning import PrunedSpace
 from repro.stats import sample_size_worst_case
+from repro.telemetry import RunManifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -87,12 +88,24 @@ def baseline_for(key: str, n: int | None = None) -> CampaignResult:
 
 
 def emit(name: str, text: str) -> None:
-    """Print a bench's table and persist it under benchmarks/results/."""
+    """Print a bench's table and persist it under benchmarks/results/.
+
+    Alongside each ``<name>.txt`` a ``<name>.manifest.json`` records the
+    exact settings, git revision and library versions the numbers came
+    from, so archived results stay auditable.
+    """
     banner = f"\n===== {name} ====="
     print(banner)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    manifest = RunManifest.create(
+        kernel="",
+        command=f"bench:{name}",
+        config={**asdict(SETTINGS), "full": FULL},
+        seed=SETTINGS.seed,
+    )
+    manifest.write(RESULTS_DIR / f"{name}.manifest.json")
 
 
 #: Table I kernel order (NN is Table VII-only).

@@ -19,6 +19,7 @@ Layers (bottom-up):
 * :mod:`repro.stats`    — statistical-injection sample sizing (Eqs. 2-4)
 * :mod:`repro.pruning`  — the paper's progressive 4-stage pruning
 * :mod:`repro.analysis` — grouping analytics and table/figure data
+* :mod:`repro.telemetry` — events, metrics, spans, progress, manifests
 """
 
 from .errors import (
@@ -43,6 +44,13 @@ from .faults import (
 )
 from .kernels import KernelInstance, KernelSpec, all_kernels, get_kernel, load_instance
 from .pruning import ProgressivePruner, PrunedSpace
+from .telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    ProgressReporter,
+    RunManifest,
+    Telemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -57,7 +65,12 @@ __all__ = [
     "KernelInstance",
     "KernelSpec",
     "MemoryFault",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
     "Outcome",
+    "ProgressReporter",
+    "RunManifest",
+    "Telemetry",
     "ProgressivePruner",
     "PrunedSpace",
     "PruningError",

@@ -2,16 +2,28 @@
 
 Commands:
 
-* ``list``     — the kernel registry with threads and fault-site counts.
+* ``list``     — the kernel registry with threads and fault-site counts
+  (``--json`` for a machine-readable inventory).
 * ``profile``  — estimate a kernel's resilience profile via pruning.
 * ``baseline`` — run a statistical random-injection baseline.
 * ``stages``   — show the per-stage fault-site reduction for a kernel.
+* ``metrics``  — run a small instrumented campaign and print counters,
+  gauges, histograms and span timings.
+* ``report``   — markdown resilience report.
+
+``profile``/``baseline``/``stages`` accept instrumentation flags:
+``--telemetry-out events.jsonl`` streams typed events, ``--progress``
+renders per-injection rate/ETA to stderr, and ``--manifest run.json``
+writes an auditable run manifest (config, git rev, versions, profile,
+wall clock, metrics) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from . import (
     FaultInjector,
@@ -21,6 +33,34 @@ from . import (
     random_campaign,
 )
 from .stats import sample_size_worst_case
+from .telemetry import (
+    NULL_TELEMETRY,
+    JsonlSink,
+    NullSink,
+    ProgressReporter,
+    RunManifest,
+    Telemetry,
+)
+
+
+def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="stream JSONL telemetry events to PATH",
+    )
+    sub.add_argument(
+        "--progress",
+        action="store_true",
+        help="render per-injection progress (rate/ETA) to stderr",
+    )
+    sub.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write a reproducibility manifest (config, git rev, profile) to PATH",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,24 +71,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered kernels")
+    list_cmd = sub.add_parser("list", help="list registered kernels")
+    list_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable kernel inventory"
+    )
 
     profile = sub.add_parser("profile", help="pruned-space resilience profile")
     profile.add_argument("kernel", help="kernel key, e.g. gemm.k1")
     profile.add_argument("--loop-iters", type=int, default=5)
     profile.add_argument("--bits", type=int, default=16)
     profile.add_argument("--seed", type=int, default=2018)
+    _add_instrumentation_args(profile)
 
     baseline = sub.add_parser("baseline", help="random statistical baseline")
     baseline.add_argument("kernel")
     baseline.add_argument("--confidence", type=float, default=0.95)
     baseline.add_argument("--margin", type=float, default=0.03)
     baseline.add_argument("--seed", type=int, default=2018)
+    _add_instrumentation_args(baseline)
 
     stages = sub.add_parser("stages", help="per-stage site reduction")
     stages.add_argument("kernel")
     stages.add_argument("--loop-iters", type=int, default=5)
     stages.add_argument("--bits", type=int, default=16)
+    _add_instrumentation_args(stages)
+
+    metrics = sub.add_parser(
+        "metrics", help="instrumented mini-campaign: counters and span timings"
+    )
+    metrics.add_argument("kernel")
+    metrics.add_argument("--runs", type=int, default=30, help="random injections")
+    metrics.add_argument("--seed", type=int, default=2018)
+    _add_instrumentation_args(metrics)
 
     report = sub.add_parser("report", help="markdown resilience report")
     report.add_argument("kernel")
@@ -58,50 +112,183 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_list() -> int:
-    print(f"{'key':16s} {'suite':10s} {'kernel':20s} {'threads':>8s} "
-          f"{'fault sites':>12s}")
+def _make_telemetry(args) -> Telemetry:
+    """A live Telemetry when any instrumentation flag is set, else null."""
+    if args.telemetry_out:
+        return Telemetry(sink=JsonlSink(args.telemetry_out))
+    if args.manifest or args.progress:
+        return Telemetry(sink=NullSink())
+    return NULL_TELEMETRY
+
+
+def _make_progress(args, label: str) -> ProgressReporter | None:
+    if not args.progress:
+        return None
+    return ProgressReporter(label=label, stream=sys.stderr)
+
+
+def _finish_manifest(
+    manifest: RunManifest | None,
+    telemetry: Telemetry,
+    t0: float,
+    profile=None,
+    path: str | None = None,
+) -> None:
+    telemetry.close()
+    if manifest is None:
+        return
+    if profile is not None:
+        manifest.record_profile(profile)
+    manifest.finalize(telemetry, wall_clock_s=time.perf_counter() - t0)
+    manifest.write(path)
+    print(f"wrote manifest {path}")
+
+
+def cmd_list(args) -> int:
+    rows = []
     for spec in all_kernels():
         injector = FaultInjector(spec.build())
+        rows.append(
+            {
+                "key": spec.key,
+                "suite": spec.suite,
+                "kernel": spec.kernel_name,
+                "threads": injector.instance.geometry.n_threads,
+                "fault_sites": injector.space.total_sites,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    print(f"{'key':16s} {'suite':10s} {'kernel':20s} {'threads':>8s} "
+          f"{'fault sites':>12s}")
+    for row in rows:
         print(
-            f"{spec.key:16s} {spec.suite:10s} {spec.kernel_name:20s} "
-            f"{injector.instance.geometry.n_threads:8d} "
-            f"{injector.space.total_sites:12,}"
+            f"{row['key']:16s} {row['suite']:10s} {row['kernel']:20s} "
+            f"{row['threads']:8d} {row['fault_sites']:12,}"
         )
     return 0
 
 
 def cmd_profile(args) -> int:
-    injector = FaultInjector(load_instance(args.kernel))
+    telemetry = _make_telemetry(args)
+    manifest = None
+    if args.manifest:
+        manifest = RunManifest.create(
+            kernel=args.kernel,
+            command="profile",
+            config={
+                "loop_iters": args.loop_iters,
+                "bits": args.bits,
+                "seed": args.seed,
+            },
+            seed=args.seed,
+            events_path=args.telemetry_out,
+        )
+    t0 = time.perf_counter()
+    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
     pruner = ProgressivePruner(
         num_loop_iters=args.loop_iters, n_bits=args.bits, seed=args.seed
     )
     space = pruner.prune(injector)
-    profile = space.estimate_profile(injector)
+    progress = _make_progress(args, label=f"{args.kernel} injections")
+    profile = space.estimate_profile(injector, progress=progress)
+    if progress is not None:
+        progress.close()
     print(f"{args.kernel}: {space.total_sites:,} sites -> "
           f"{space.n_injections:,} injections "
           f"({space.reduction_factor():,.0f}x)")
     print(profile)
+    _finish_manifest(manifest, telemetry, t0, profile=profile, path=args.manifest)
     return 0
 
 
 def cmd_baseline(args) -> int:
-    injector = FaultInjector(load_instance(args.kernel))
+    telemetry = _make_telemetry(args)
+    manifest = None
     n = sample_size_worst_case(args.margin, args.confidence)
-    result = random_campaign(injector, n, rng=args.seed)
+    if args.manifest:
+        manifest = RunManifest.create(
+            kernel=args.kernel,
+            command="baseline",
+            config={
+                "confidence": args.confidence,
+                "margin": args.margin,
+                "seed": args.seed,
+                "runs": n,
+            },
+            seed=args.seed,
+            events_path=args.telemetry_out,
+        )
+    t0 = time.perf_counter()
+    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
+    progress = _make_progress(args, label=f"{args.kernel} baseline")
+    result = random_campaign(injector, n, rng=args.seed, progress=progress)
+    if progress is not None:
+        progress.close()
     print(f"{args.kernel}: {n} random injections "
           f"({100 * args.confidence:.1f}% CI, ±{100 * args.margin:.1f}pp)")
     print(result.profile)
+    _finish_manifest(
+        manifest, telemetry, t0, profile=result.profile, path=args.manifest
+    )
     return 0
 
 
 def cmd_stages(args) -> int:
-    injector = FaultInjector(load_instance(args.kernel))
+    telemetry = _make_telemetry(args)
+    manifest = None
+    if args.manifest:
+        manifest = RunManifest.create(
+            kernel=args.kernel,
+            command="stages",
+            config={"loop_iters": args.loop_iters, "bits": args.bits},
+            events_path=args.telemetry_out,
+        )
+    t0 = time.perf_counter()
+    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
     pruner = ProgressivePruner(num_loop_iters=args.loop_iters, n_bits=args.bits)
-    space = pruner.prune(injector)
+    progress = _make_progress(args, label=f"{args.kernel} stages")
+    space = pruner.prune(injector, progress=progress)
+    if progress is not None:
+        progress.close()
     print(f"{args.kernel}: exhaustive {space.total_sites:,}")
     for stage in space.stages:
         print(f"  after {stage.name:17s}: {stage.sites_after:10,}")
+    _finish_manifest(manifest, telemetry, t0, path=args.manifest)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    telemetry = (
+        Telemetry(sink=JsonlSink(args.telemetry_out))
+        if args.telemetry_out
+        else Telemetry()
+    )
+    manifest = None
+    if args.manifest:
+        manifest = RunManifest.create(
+            kernel=args.kernel,
+            command="metrics",
+            config={"runs": args.runs, "seed": args.seed},
+            seed=args.seed,
+            events_path=args.telemetry_out,
+        )
+    t0 = time.perf_counter()
+    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
+    progress = _make_progress(args, label=f"{args.kernel} metrics")
+    result = random_campaign(injector, args.runs, rng=args.seed, progress=progress)
+    if progress is not None:
+        progress.close()
+    print(f"{args.kernel}: {args.runs} instrumented random injections")
+    print(result.profile)
+    print()
+    print(telemetry.metrics.render())
+    print()
+    print(telemetry.spans.render())
+    _finish_manifest(
+        manifest, telemetry, t0, profile=result.profile, path=args.manifest
+    )
     return 0
 
 
@@ -125,13 +312,15 @@ def cmd_report(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return cmd_list()
+        return cmd_list(args)
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "baseline":
         return cmd_baseline(args)
     if args.command == "stages":
         return cmd_stages(args)
+    if args.command == "metrics":
+        return cmd_metrics(args)
     if args.command == "report":
         return cmd_report(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -2,20 +2,31 @@
 
 Three campaign shapes cover everything the paper does:
 
-* :func:`run_campaign` — inject an explicit site list (optionally
+* :func:`run_campaign` — inject an explicit iterable of sites (optionally
   weighted), e.g. the exhaustive pruned space;
 * :func:`random_campaign` — ``n`` uniform random sites, the statistical
   baseline of Section II-D;
 * :func:`exhaustive_campaign` — every site in the space (only sane for
   small spaces or single instructions).
+
+``run_campaign`` streams: sites may be any iterable (a generator over a
+1e6-site exhaustive space never materialises twice), the profile is built
+incrementally, and an optional ``progress(done, total)`` hook fires after
+every injection.  ``random_campaign`` and ``exhaustive_campaign`` forward
+all keyword arguments (``weights``/``telemetry``/``progress``/…) to
+:func:`run_campaign`, so every campaign shape is instrumentable the same
+way.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
+from ..telemetry import CampaignEvent, Telemetry
 from .injector import FaultInjector
 from .outcome import Outcome, ResilienceProfile
 from .site import FaultSite
@@ -23,7 +34,12 @@ from .site import FaultSite
 
 @dataclass
 class CampaignResult:
-    """Outcomes plus the aggregated (possibly weighted) profile."""
+    """Outcomes plus the aggregated (possibly weighted) profile.
+
+    ``sites``/``outcomes`` are empty when the campaign ran with
+    ``keep_sites=False`` (streaming over huge spaces); the profile still
+    carries every classified run.
+    """
 
     sites: list[FaultSite]
     outcomes: list[Outcome]
@@ -31,39 +47,118 @@ class CampaignResult:
 
     @property
     def n_runs(self) -> int:
-        return len(self.sites)
+        return len(self.sites) if self.sites else self.profile.n_injections
 
 
 def run_campaign(
     injector: FaultInjector,
-    sites: list[FaultSite],
-    weights: list[float] | None = None,
+    sites: Iterable[FaultSite],
+    weights: Iterable[float] | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+    progress=None,
+    total: int | None = None,
+    keep_sites: bool = True,
+    label: str = "explicit",
 ) -> CampaignResult:
-    """Inject every site in ``sites``; weight outcomes if weights given."""
-    outcomes = [injector.inject(site) for site in sites]
-    profile = ResilienceProfile.from_outcomes(outcomes, weights)
-    return CampaignResult(sites=list(sites), outcomes=outcomes, profile=profile)
+    """Inject every site in ``sites``; weight outcomes if weights given.
+
+    Args:
+        sites: any iterable of fault sites — consumed exactly once.
+        weights: optional per-site weights, zipped strictly against sites.
+        telemetry: event/metric/span bundle; defaults to the injector's.
+        progress: ``callable(done, total)`` (a
+            :class:`~repro.telemetry.ProgressReporter` works directly),
+            invoked after every injection.
+        total: planned site count for progress/ETA when ``sites`` has no
+            ``len()`` (e.g. a generator).
+        keep_sites: set False to drop the per-run site/outcome lists and
+            keep only the profile — O(1) memory over huge spaces.
+        label: campaign tag recorded in :class:`CampaignEvent`.
+    """
+    telemetry = telemetry if telemetry is not None else injector.telemetry
+    if total is None:
+        try:
+            total = len(sites)  # type: ignore[arg-type]
+        except TypeError:
+            total = None
+    if telemetry.enabled:
+        telemetry.emit(
+            CampaignEvent(
+                time.time(),
+                phase="start",
+                campaign=label,
+                n_sites=total if total is not None else -1,
+                profile=None,
+            )
+        )
+    pairs = (
+        ((site, 1.0) for site in sites)
+        if weights is None
+        else zip(sites, weights, strict=True)
+    )
+    kept_sites: list[FaultSite] = []
+    kept_outcomes: list[Outcome] = []
+    profile = ResilienceProfile()
+    done = 0
+    with telemetry.span(f"campaign.{label}"):
+        for site, weight in pairs:
+            outcome = injector.inject(site)
+            profile.add(outcome, weight)
+            if keep_sites:
+                kept_sites.append(site)
+                kept_outcomes.append(outcome)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    if telemetry.enabled:
+        telemetry.emit(
+            CampaignEvent(
+                time.time(),
+                phase="end",
+                campaign=label,
+                n_sites=done,
+                profile=dict(profile.weights),
+            )
+        )
+    return CampaignResult(sites=kept_sites, outcomes=kept_outcomes, profile=profile)
 
 
 def random_campaign(
     injector: FaultInjector,
     n: int,
     rng: np.random.Generator | int | None = None,
+    **campaign_kwargs,
 ) -> CampaignResult:
-    """``n`` uniform random injections over the exhaustive space."""
+    """``n`` uniform random injections over the exhaustive space.
+
+    Extra keyword arguments pass straight through to :func:`run_campaign`.
+    """
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     sites = injector.space.sample(n, rng)
-    return run_campaign(injector, sites)
+    campaign_kwargs.setdefault("label", "random")
+    return run_campaign(injector, sites, **campaign_kwargs)
 
 
 def exhaustive_campaign(
-    injector: FaultInjector, threads: list[int] | None = None
+    injector: FaultInjector,
+    threads: list[int] | None = None,
+    **campaign_kwargs,
 ) -> CampaignResult:
-    """Every site of the given threads (default: the whole space)."""
+    """Every site of the given threads (default: the whole space).
+
+    Sites stream from the space lazily — the full site list is never
+    materialised up front.  Extra keyword arguments pass straight through
+    to :func:`run_campaign`.
+    """
     if threads is None:
         threads = list(range(injector.space.n_threads))
-    sites: list[FaultSite] = []
-    for thread in threads:
-        sites.extend(injector.space.iter_thread_sites(thread))
-    return run_campaign(injector, sites)
+    sites = (
+        site for thread in threads for site in injector.space.iter_thread_sites(thread)
+    )
+    campaign_kwargs.setdefault("label", "exhaustive")
+    campaign_kwargs.setdefault(
+        "total", sum(injector.space.thread_sites(t) for t in threads)
+    )
+    return run_campaign(injector, sites, **campaign_kwargs)

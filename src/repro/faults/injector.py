@@ -25,11 +25,14 @@ Outcome classification (paper Section II-B):
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import FaultInjectionError, HangDetected, MemoryFault
 from ..gpu import GPUSimulator, GlobalMemory
 from ..kernels.registry import KernelInstance
+from ..telemetry import NULL_TELEMETRY, InjectionEvent, Telemetry
 from .model import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
 from .outcome import Outcome
 from .site import FaultSite
@@ -51,22 +54,25 @@ class FaultInjector:
         instance: KernelInstance,
         hang_factor: int = DEFAULT_HANG_FACTOR,
         verify_golden: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.instance = instance
         self.hang_factor = hang_factor
-        self._launcher = GPUSimulator()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._launcher = GPUSimulator(telemetry=self.telemetry)
 
-        golden_memory = instance.golden_memory()
-        result = self._launcher.launch(
-            instance.program,
-            instance.geometry,
-            instance.param_bytes,
-            memory=golden_memory,
-            record_traces=True,
-            record_write_logs=True,
-        )
-        if verify_golden:
-            instance.verify_reference(golden_memory)
+        with self.telemetry.span("golden-run"):
+            golden_memory = instance.golden_memory()
+            result = self._launcher.launch(
+                instance.program,
+                instance.geometry,
+                instance.param_bytes,
+                memory=golden_memory,
+                record_traces=True,
+                record_write_logs=True,
+            )
+            if verify_golden:
+                instance.verify_reference(golden_memory)
 
         self.traces = result.traces
         self.space = FaultSpace(self.traces)
@@ -103,6 +109,26 @@ class FaultInjector:
         self, thread: int, spec: InjectionSpec, label: str | None = None
     ) -> Outcome:
         """Classify one injection of any fault model (fast path)."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._run_spec(thread, spec, label)
+        t0 = time.perf_counter()
+        fallbacks_before = self.fallback_count
+        with telemetry.span("injection"):
+            outcome = self._run_spec(thread, spec, label)
+        self._record_injection(
+            thread,
+            spec,
+            outcome,
+            fast_path=self.fallback_count == fallbacks_before,
+            duration_s=time.perf_counter() - t0,
+        )
+        return outcome
+
+    def _run_spec(
+        self, thread: int, spec: InjectionSpec, label: str | None = None
+    ) -> Outcome:
+        """The uninstrumented fast path (CTA slice, overlay, classify)."""
         label = label if label is not None else f"t{thread}:{spec}"
         self._check_spec(thread, spec)
         geometry = self.instance.geometry
@@ -135,7 +161,7 @@ class FaultInjector:
 
         if self._writes_escape_cta(faulty_log, cta):
             self.fallback_count += 1
-            return self.inject_spec_full(thread, spec, label)
+            return self._run_spec_full(thread, spec, label)
 
         faulty_final = self._overlay(cta, faulty_log)
         return self._classify_output(faulty_final)
@@ -148,6 +174,22 @@ class FaultInjector:
         )
 
     def inject_spec_full(
+        self, thread: int, spec: InjectionSpec, label: str | None = None
+    ) -> Outcome:
+        """Classify one injection via the reference full re-execution."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._run_spec_full(thread, spec, label)
+        t0 = time.perf_counter()
+        with telemetry.span("injection"):
+            outcome = self._run_spec_full(thread, spec, label)
+        self._record_injection(
+            thread, spec, outcome, fast_path=False,
+            duration_s=time.perf_counter() - t0,
+        )
+        return outcome
+
+    def _run_spec_full(
         self, thread: int, spec: InjectionSpec, label: str | None = None
     ) -> Outcome:
         label = label if label is not None else f"t{thread}:{spec}"
@@ -218,6 +260,35 @@ class FaultInjector:
         return sites
 
     # -------------------------------------------------------------- helpers
+
+    def _record_injection(
+        self,
+        thread: int,
+        spec: InjectionSpec,
+        outcome: Outcome,
+        fast_path: bool,
+        duration_s: float,
+    ) -> None:
+        """Counters + one :class:`InjectionEvent` per classified injection."""
+        telemetry = self.telemetry
+        telemetry.count("injections.total")
+        telemetry.count(
+            "injections.fast_path" if fast_path else "injections.full_rerun"
+        )
+        telemetry.count(f"outcome.{outcome.value}")
+        telemetry.observe("injection_s", duration_s)
+        telemetry.emit(
+            InjectionEvent(
+                time.time(),
+                thread=thread,
+                dyn_index=spec.dyn_index,
+                bit=spec.bit,
+                model=spec.model.value,
+                outcome=outcome.value,
+                fast_path=fast_path,
+                duration_s=duration_s,
+            )
+        )
 
     def _check_site(self, site: FaultSite) -> None:
         if not 0 <= site.thread < len(self.traces):

@@ -19,12 +19,15 @@ from __future__ import annotations
 from .thread import ThreadContext, ThreadState
 
 
-def run_cta(threads: list[ThreadContext]) -> None:
+def run_cta(threads: list[ThreadContext]) -> int:
     """Drive every thread of one CTA to completion.
 
-    Raises whatever the threads raise (``MemoryFault``, ``HangDetected``);
-    callers decide whether that is a crash under injection or a kernel bug.
+    Returns the number of barrier-release rounds (a telemetry counter for
+    how often the CTA synchronised).  Raises whatever the threads raise
+    (``MemoryFault``, ``HangDetected``); callers decide whether that is a
+    crash under injection or a kernel bug.
     """
+    barrier_rounds = 0
     while True:
         progressed = False
         for thread in threads:
@@ -33,10 +36,11 @@ def run_cta(threads: list[ThreadContext]) -> None:
                 progressed = True
         waiting = [t for t in threads if t.state is ThreadState.AT_BARRIER]
         if waiting:
+            barrier_rounds += 1
             for thread in waiting:
                 thread.state = ThreadState.RUNNING
             continue
         if all(t.state is ThreadState.EXITED for t in threads):
-            return
+            return barrier_rounds
         if not progressed:  # pragma: no cover - defensive; unreachable by design
             raise AssertionError("CTA scheduler made no progress")

@@ -15,11 +15,13 @@ on:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import FaultInjectionError, SimulatorError
+from ..errors import FaultInjectionError, HangDetected, MemoryFault, SimulatorError
+from ..telemetry import NULL_TELEMETRY, SimRunEvent, Telemetry
 from .cta import run_cta
 from .memory import GlobalMemory, ParamMemory, SharedMemory
 from .program import Program
@@ -81,13 +83,18 @@ class LaunchResult:
     traces: list[ThreadTrace] | None
     cta_write_logs: list[list[tuple[int, bytes]]] | None
     injection_applied: bool
+    instructions: int = 0
+    barrier_rounds: int = 0
 
 
 class GPUSimulator:
     """Device state plus the launch entry point."""
 
-    def __init__(self, heap_bytes: int = 1 << 20) -> None:
+    def __init__(
+        self, heap_bytes: int = 1 << 20, telemetry: Telemetry | None = None
+    ) -> None:
         self.memory = GlobalMemory(heap_bytes)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ------------------------------------------------------------- buffers
 
@@ -158,38 +165,80 @@ class GPUSimulator:
             [[] for _ in range(geometry.n_ctas)] if record_write_logs else None
         )
         injection_applied = False
+        telemetry = self.telemetry
+        t0 = time.perf_counter() if telemetry.enabled else 0.0
+        instructions = 0
+        barrier_rounds = 0
+        hang = memory_fault = False
 
-        for cta in ctas:
-            shared = SharedMemory(program.shared_bytes) if program.shared_bytes else None
-            threads = []
-            for slot in range(tpc):
-                thread_id = cta * tpc + slot
-                thread_injection = None
-                if injection_thread == thread_id:
-                    thread_injection = injection_spec
-                threads.append(
-                    ThreadContext(
-                        program,
-                        geometry.specials_for(cta, slot),
-                        heap,
-                        shared,
-                        param_mem,
-                        max_steps=max_steps,
-                        record_trace=record_traces,
-                        injection=thread_injection,
+        try:
+            for cta in ctas:
+                shared = (
+                    SharedMemory(program.shared_bytes) if program.shared_bytes else None
+                )
+                threads = []
+                for slot in range(tpc):
+                    thread_id = cta * tpc + slot
+                    thread_injection = None
+                    if injection_thread == thread_id:
+                        thread_injection = injection_spec
+                    threads.append(
+                        ThreadContext(
+                            program,
+                            geometry.specials_for(cta, slot),
+                            heap,
+                            shared,
+                            param_mem,
+                            max_steps=max_steps,
+                            record_trace=record_traces,
+                            injection=thread_injection,
+                        )
+                    )
+                if write_logs is not None:
+                    heap.write_log = write_logs[cta]
+                try:
+                    barrier_rounds += run_cta(threads)
+                finally:
+                    heap.write_log = None
+                    for thread in threads:
+                        instructions += thread.dyn_count
+                for slot, thread in enumerate(threads):
+                    if record_traces:
+                        trace_map[cta * tpc + slot] = thread.trace  # type: ignore[assignment]
+                    if injection_thread == cta * tpc + slot:
+                        injection_applied = thread.injection is None
+        except HangDetected:
+            hang = True
+            raise
+        except MemoryFault:
+            memory_fault = True
+            raise
+        finally:
+            if telemetry.enabled:
+                kind = (
+                    "sliced"
+                    if only_cta is not None
+                    else ("golden" if injection_thread is None else "full")
+                )
+                telemetry.count("sim.launches")
+                telemetry.count("sim.instructions", instructions)
+                telemetry.count("sim.barrier_rounds", barrier_rounds)
+                if hang:
+                    telemetry.count("sim.hangs")
+                if memory_fault:
+                    telemetry.count("sim.memory_faults")
+                telemetry.emit(
+                    SimRunEvent(
+                        time.time(),
+                        kind=kind,
+                        n_ctas=len(ctas),
+                        instructions=instructions,
+                        barrier_rounds=barrier_rounds,
+                        hang=hang,
+                        memory_fault=memory_fault,
+                        duration_s=time.perf_counter() - t0,
                     )
                 )
-            if write_logs is not None:
-                heap.write_log = write_logs[cta]
-            try:
-                run_cta(threads)
-            finally:
-                heap.write_log = None
-            for slot, thread in enumerate(threads):
-                if record_traces:
-                    trace_map[cta * tpc + slot] = thread.trace  # type: ignore[assignment]
-                if injection_thread == cta * tpc + slot:
-                    injection_applied = thread.injection is None
 
         if injection_thread is not None and only_cta is None:
             owner = geometry.cta_of_thread(injection_thread)
@@ -205,4 +254,6 @@ class GPUSimulator:
             traces=traces,
             cta_write_logs=write_logs,
             injection_applied=injection_applied,
+            instructions=instructions,
+            barrier_rounds=barrier_rounds,
         )

@@ -23,7 +23,7 @@ import enum
 
 from ..errors import ExecutionFault, HangDetected
 from .injection import FaultModel, InjectionSpec
-from .alu import compare, condition_code, to_int, _exec_set_general
+from .alu import condition_code, to_int, _exec_set_general
 from .isa import DataType, Imm, MemRef, Param, Reg, Special
 from .memory import GlobalMemory, ParamMemory, SharedMemory
 from .program import Program

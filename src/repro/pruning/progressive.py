@@ -12,14 +12,17 @@ profile.  Weights are conserved at every stage —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import PruningError
+from ..faults.campaign import run_campaign
 from ..faults.injector import FaultInjector
 from ..faults.outcome import Outcome, ResilienceProfile
 from ..faults.site import FaultSite
+from ..telemetry import StageEvent, Telemetry
 from .bitwise import BitPlan, plan_bits
 from .instructionwise import InstructionwisePruning, prune_instructions
 from .loopwise import LoopwisePruning, prune_loops
@@ -64,11 +67,28 @@ class PrunedSpace:
             raise PruningError("empty pruned space")
         return self.total_sites / len(self.sites)
 
-    def estimate_profile(self, injector: FaultInjector) -> ResilienceProfile:
-        """Exhaustively inject the pruned space and extrapolate."""
-        profile = ResilienceProfile()
-        for ws in self.sites:
-            profile.add(injector.inject(ws.site), ws.weight)
+    def estimate_profile(
+        self,
+        injector: FaultInjector,
+        telemetry: Telemetry | None = None,
+        progress=None,
+    ) -> ResilienceProfile:
+        """Exhaustively inject the pruned space and extrapolate.
+
+        ``telemetry``/``progress`` flow into the underlying campaign, so
+        every weighted injection is observable like any other run.
+        """
+        result = run_campaign(
+            injector,
+            (ws.site for ws in self.sites),
+            weights=(ws.weight for ws in self.sites),
+            telemetry=telemetry,
+            progress=progress,
+            total=len(self.sites),
+            keep_sites=False,
+            label="pruned-estimate",
+        )
+        profile = result.profile
         if self.static_masked_weight:
             profile.add(Outcome.MASKED, self.static_masked_weight)
         return profile
@@ -100,12 +120,47 @@ class ProgressivePruner:
     pred_flags_masked: bool = True
     seed: int = 2018
 
-    def prune(self, injector: FaultInjector) -> PrunedSpace:
+    def prune(
+        self,
+        injector: FaultInjector,
+        telemetry: Telemetry | None = None,
+        progress=None,
+    ) -> PrunedSpace:
+        """Run all enabled stages.
+
+        ``telemetry`` (defaulting to the injector's) gets one span, one
+        :class:`~repro.telemetry.StageEvent` and a pair of
+        ``prune.<stage>.*`` gauges per stage; ``progress(done, total)``
+        fires after each of the four stages.
+        """
         traces = injector.traces
         program = injector.instance.program
         geometry = injector.instance.geometry
         rng = np.random.default_rng(self.seed)
         stages: list[StageReport] = []
+        telemetry = telemetry if telemetry is not None else injector.telemetry
+        n_stages = 4
+
+        def finish_stage(name: str, sites_before: int, sites_after: int, t0: float):
+            stages.append(StageReport(name, sites_after))
+            if telemetry.enabled:
+                telemetry.set_gauge(f"prune.{name}.sites_after", sites_after)
+                if sites_after:
+                    telemetry.set_gauge(
+                        f"prune.{name}.factor", sites_before / sites_after
+                    )
+                telemetry.emit(
+                    StageEvent(
+                        time.time(),
+                        stage=name,
+                        sites_before=sites_before,
+                        sites_after=sites_after,
+                        duration_s=time.perf_counter() - t0,
+                    )
+                )
+            if progress is not None:
+                progress(len(stages), n_stages)
+            return sites_after
 
         # ---- stage 1: thread-wise ---------------------------------------
         # Representatives are drawn randomly within each group, per the
@@ -113,79 +168,95 @@ class ProgressivePruner:
         # representative").  Deterministic picks of the first member bias
         # towards boundary-adjacent threads, whose flips cross the
         # active/idle boundary far more often than their group's.
-        tw = prune_threads(traces, geometry, method=self.cta_method, rng=rng)
-        # Injection units: (thread, dyn index) -> weight per bit.
-        units: dict[tuple[int, int], float] = {}
-        widths: dict[tuple[int, int], int] = {}
-        for group in tw.thread_groups:
-            rep = group.representative
-            w = group.per_site_weight
-            for dyn_index, (_pc, width) in enumerate(traces[rep]):
-                if width:
-                    key = (rep, dyn_index)
-                    units[key] = units.get(key, 0.0) + w
-                    widths[key] = width
-        stages.append(StageReport("thread-wise", _site_count(units, widths)))
+        t0 = time.perf_counter()
+        with telemetry.span("prune.thread-wise"):
+            tw = prune_threads(traces, geometry, method=self.cta_method, rng=rng)
+            # Injection units: (thread, dyn index) -> weight per bit.
+            units: dict[tuple[int, int], float] = {}
+            widths: dict[tuple[int, int], int] = {}
+            for group in tw.thread_groups:
+                rep = group.representative
+                w = group.per_site_weight
+                for dyn_index, (_pc, width) in enumerate(traces[rep]):
+                    if width:
+                        key = (rep, dyn_index)
+                        units[key] = units.get(key, 0.0) + w
+                        widths[key] = width
+        remaining = finish_stage(
+            "thread-wise", tw.total_sites, _site_count(units, widths), t0
+        )
 
         # ---- stage 2: instruction-wise ----------------------------------
         iw = None
-        if self.enable_instructionwise:
-            iw = prune_instructions(
-                program,
-                traces,
-                tw.representatives,
-                min_common_fraction=self.min_common_fraction,
-            )
-            for block in iw.borrowed:
-                for offset in range(block.size):
-                    src = (block.thread, block.lo + offset)
-                    dst = (block.donor, block.donor_lo + offset)
-                    if src not in units:
-                        continue
-                    src_width = widths[src]
-                    if dst in units and widths[dst] == src_width:
-                        units[dst] += units.pop(src)
-                    # else: donor slot was predicated off or absent — the
-                    # borrower's copy stays and is injected directly.
-        stages.append(StageReport("instruction-wise", _site_count(units, widths)))
+        t0 = time.perf_counter()
+        with telemetry.span("prune.instruction-wise"):
+            if self.enable_instructionwise:
+                iw = prune_instructions(
+                    program,
+                    traces,
+                    tw.representatives,
+                    min_common_fraction=self.min_common_fraction,
+                )
+                for block in iw.borrowed:
+                    for offset in range(block.size):
+                        src = (block.thread, block.lo + offset)
+                        dst = (block.donor, block.donor_lo + offset)
+                        if src not in units:
+                            continue
+                        src_width = widths[src]
+                        if dst in units and widths[dst] == src_width:
+                            units[dst] += units.pop(src)
+                        # else: donor slot was predicated off or absent — the
+                        # borrower's copy stays and is injected directly.
+        remaining = finish_stage(
+            "instruction-wise", remaining, _site_count(units, widths), t0
+        )
 
         # ---- stage 3: loop-wise -----------------------------------------
         lw = None
-        if self.enable_loopwise:
-            active_threads = sorted({t for t, _ in units})
-            lw = prune_loops(program, traces, active_threads, self.num_loop_iters, rng)
-            surviving: dict[tuple[int, int], float] = {}
-            for (thread, dyn_index), weight in units.items():
-                multiplier = lw.kept(thread).get(dyn_index)
-                if multiplier is None:
-                    continue
-                surviving[(thread, dyn_index)] = weight * multiplier
-            units = surviving
-        stages.append(StageReport("loop-wise", _site_count(units, widths)))
+        t0 = time.perf_counter()
+        with telemetry.span("prune.loop-wise"):
+            if self.enable_loopwise:
+                active_threads = sorted({t for t, _ in units})
+                lw = prune_loops(
+                    program, traces, active_threads, self.num_loop_iters, rng
+                )
+                surviving: dict[tuple[int, int], float] = {}
+                for (thread, dyn_index), weight in units.items():
+                    multiplier = lw.kept(thread).get(dyn_index)
+                    if multiplier is None:
+                        continue
+                    surviving[(thread, dyn_index)] = weight * multiplier
+                units = surviving
+        remaining = finish_stage("loop-wise", remaining, _site_count(units, widths), t0)
 
         # ---- stage 4: bit-wise ------------------------------------------
-        sites: list[WeightedSite] = []
-        static_masked = 0.0
-        plans: dict[int, BitPlan] = {}
-        for (thread, dyn_index), weight in sorted(units.items()):
-            width = widths[(thread, dyn_index)]
-            if self.enable_bitwise:
-                plan = plans.get(width)
-                if plan is None:
-                    plan = plan_bits(width, self.n_bits, self.pred_flags_masked)
-                    plans[width] = plan
-                for bit in plan.kept_bits:
-                    sites.append(
-                        WeightedSite(
-                            FaultSite(thread, dyn_index, bit),
-                            weight * plan.weight_per_bit,
+        t0 = time.perf_counter()
+        with telemetry.span("prune.bit-wise"):
+            sites: list[WeightedSite] = []
+            static_masked = 0.0
+            plans: dict[int, BitPlan] = {}
+            for (thread, dyn_index), weight in sorted(units.items()):
+                width = widths[(thread, dyn_index)]
+                if self.enable_bitwise:
+                    plan = plans.get(width)
+                    if plan is None:
+                        plan = plan_bits(width, self.n_bits, self.pred_flags_masked)
+                        plans[width] = plan
+                    for bit in plan.kept_bits:
+                        sites.append(
+                            WeightedSite(
+                                FaultSite(thread, dyn_index, bit),
+                                weight * plan.weight_per_bit,
+                            )
                         )
-                    )
-                static_masked += weight * plan.static_masked_bits
-            else:
-                for bit in range(width):
-                    sites.append(WeightedSite(FaultSite(thread, dyn_index, bit), weight))
-        stages.append(StageReport("bit-wise", len(sites)))
+                    static_masked += weight * plan.static_masked_bits
+                else:
+                    for bit in range(width):
+                        sites.append(
+                            WeightedSite(FaultSite(thread, dyn_index, bit), weight)
+                        )
+        finish_stage("bit-wise", remaining, len(sites), t0)
 
         return PrunedSpace(
             sites=sites,

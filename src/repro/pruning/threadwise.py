@@ -20,7 +20,7 @@ multiset) used by the ablation bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

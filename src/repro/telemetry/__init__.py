@@ -1,0 +1,177 @@
+"""Structured instrumentation for the injection/pruning stack.
+
+The :class:`Telemetry` facade bundles the three recorders every layer
+shares — an event sink (:mod:`~repro.telemetry.events`), a metrics
+registry (:mod:`~repro.telemetry.metrics`) and a span timer
+(:mod:`~repro.telemetry.timing`) — behind one object that the simulator,
+injector, campaign drivers and pruner all accept as ``telemetry=``.
+
+``NULL_TELEMETRY`` is the default everywhere: its ``enabled`` flag is
+False and every method is a no-op, so uninstrumented campaigns pay one
+attribute check per injection and nothing per simulated instruction.
+Hot call sites follow the pattern::
+
+    if telemetry.enabled:
+        telemetry.emit(InjectionEvent(...))   # events built only when live
+
+Progress reporting (:mod:`~repro.telemetry.progress`) and run manifests
+(:mod:`~repro.telemetry.manifest`) ride alongside; see
+``docs/observability.md`` for schemas and conventions.
+"""
+
+from __future__ import annotations
+
+from .events import (
+    EVENT_TYPES,
+    NULL_SINK,
+    CampaignEvent,
+    EventSink,
+    InjectionEvent,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    SimRunEvent,
+    StageEvent,
+    TelemetryEvent,
+    event_from_dict,
+    event_to_dict,
+    read_events,
+)
+from .manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    git_revision,
+    library_versions,
+    load_manifest,
+    profile_to_dict,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import ProgressReporter
+from .timing import SpanStats, SpanTimer
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled span path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Event sink + metrics registry + span timer, as one handle."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        metrics: MetricsRegistry | None = None,
+        spans: SpanTimer | None = None,
+    ) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanTimer()
+
+    @classmethod
+    def to_jsonl(cls, path, flush_each: bool = False) -> "Telemetry":
+        """Telemetry streaming its events to a JSONL file."""
+        return cls(sink=JsonlSink(path, flush_each=flush_each))
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.sink.emit(event)
+
+    def span(self, name: str):
+        return self.spans.span(name)
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTelemetry(Telemetry):
+    """The zero-overhead default: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=NULL_SINK)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def coalesce(telemetry: Telemetry | None) -> Telemetry:
+    """``telemetry`` or the shared null instance."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+__all__ = [
+    "EVENT_TYPES",
+    "MANIFEST_VERSION",
+    "NULL_SINK",
+    "NULL_TELEMETRY",
+    "CampaignEvent",
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "InjectionEvent",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "NullTelemetry",
+    "ProgressReporter",
+    "RunManifest",
+    "SimRunEvent",
+    "SpanStats",
+    "SpanTimer",
+    "StageEvent",
+    "Telemetry",
+    "TelemetryEvent",
+    "coalesce",
+    "event_from_dict",
+    "event_to_dict",
+    "git_revision",
+    "library_versions",
+    "load_manifest",
+    "profile_to_dict",
+    "read_events",
+]

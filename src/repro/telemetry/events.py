@@ -1,0 +1,195 @@
+"""Typed, timestamped telemetry events and the sinks that record them.
+
+Every observable moment of a campaign maps to one event type:
+
+* :class:`SimRunEvent`       — one kernel launch (golden, CTA-sliced or
+  full faulty re-execution) with instruction/barrier counts;
+* :class:`InjectionEvent`    — one classified injection (site, model,
+  outcome, fast-path vs fallback, duration);
+* :class:`StageEvent`        — one pruning stage (sites before/after);
+* :class:`CampaignEvent`     — campaign start/end with the aggregated
+  profile.
+
+Events are plain frozen dataclasses; :func:`event_to_dict` /
+:func:`event_from_dict` give a lossless JSON mapping, and
+:class:`JsonlSink` streams them one JSON object per line so a crashed
+campaign still leaves a readable prefix.  :class:`NullSink` is the
+zero-overhead default — emitters check ``sink.enabled`` (or use
+``NULL_TELEMETRY``) before constructing events at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base record: ``ts`` is a Unix timestamp (``time.time()``)."""
+
+    ts: float
+
+
+@dataclass(frozen=True)
+class SimRunEvent(TelemetryEvent):
+    """One kernel launch over the functional simulator."""
+
+    kind: str  # "golden" | "sliced" | "full"
+    n_ctas: int
+    instructions: int
+    barrier_rounds: int
+    hang: bool
+    memory_fault: bool
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class InjectionEvent(TelemetryEvent):
+    """One classified fault injection."""
+
+    thread: int
+    dyn_index: int
+    bit: int
+    model: str  # FaultModel value: "iov" | "ioa" | "rf"
+    outcome: str  # Outcome value: "masked" | "sdc" | "crash" | "hang"
+    fast_path: bool  # classified via the CTA-sliced path (no fallback)
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class StageEvent(TelemetryEvent):
+    """One progressive-pruning stage."""
+
+    stage: str  # "thread-wise" | "instruction-wise" | "loop-wise" | "bit-wise"
+    sites_before: int
+    sites_after: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class CampaignEvent(TelemetryEvent):
+    """Campaign boundary: ``phase`` is "start" or "end"."""
+
+    phase: str
+    campaign: str  # "explicit" | "random" | "exhaustive" | "pruned-estimate"
+    n_sites: int  # planned (start) or completed (end); -1 when unknown
+    profile: dict | None  # category -> weight, present on "end" only
+
+
+#: JSONL record name -> event class (the ``"event"`` key of each line).
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
+    "sim_run": SimRunEvent,
+    "injection": InjectionEvent,
+    "stage": StageEvent,
+    "campaign": CampaignEvent,
+}
+
+_NAME_OF = {cls: name for name, cls in EVENT_TYPES.items()}
+
+
+def event_to_dict(event: TelemetryEvent) -> dict:
+    """Lossless JSON-ready mapping, tagged with its record name."""
+    name = _NAME_OF.get(type(event))
+    if name is None:
+        raise ReproError(f"unregistered event type {type(event).__name__}")
+    record = {"event": name}
+    record.update(dataclasses.asdict(event))
+    return record
+
+
+def event_from_dict(data: dict) -> TelemetryEvent:
+    """Inverse of :func:`event_to_dict`."""
+    try:
+        cls = EVENT_TYPES[data["event"]]
+    except KeyError:
+        raise ReproError(f"unknown event record {data.get('event')!r}") from None
+    fields = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+def read_events(path: str | Path) -> list[TelemetryEvent]:
+    """Replay a JSONL event log back into typed events."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# ------------------------------------------------------------------ sinks
+
+
+class EventSink:
+    """Where emitted events go.  Subclasses implement :meth:`emit`."""
+
+    enabled = True
+
+    def emit(self, event: TelemetryEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Discards everything; ``enabled`` is False so emitters can skip
+    event construction entirely."""
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps events in a list — the test/inspection sink."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, cls: type) -> list[TelemetryEvent]:
+        return [e for e in self.events if isinstance(e, cls)]
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON object per event to ``path``.
+
+    ``flush_each=True`` trades a little throughput for crash-resilient
+    logs (every completed injection survives a SIGKILL).
+    """
+
+    def __init__(self, path: str | Path, flush_each: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self._flush_each = flush_each
+        self.n_emitted = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self._handle.write(json.dumps(event_to_dict(event)) + "\n")
+        self.n_emitted += 1
+        if self._flush_each:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+NULL_SINK = NullSink()

@@ -1,0 +1,146 @@
+"""Process-local counters, gauges and summary histograms.
+
+Deliberately tiny: a campaign's hot loop is interpreted GPU code at
+~1 µs/instruction, so metric updates must be a dict lookup plus an add —
+no locks, no label sets, no export protocol.  :meth:`MetricsRegistry.snapshot`
+returns plain dicts for manifests; :meth:`MetricsRegistry.render` prints
+the aligned table the ``repro metrics`` CLI command shows.
+
+Conventional metric names used across the stack:
+
+* ``sim.launches`` / ``sim.instructions`` / ``sim.barrier_rounds`` /
+  ``sim.hangs`` / ``sim.memory_faults`` — simulator counters;
+* ``injections.total`` / ``injections.fast_path`` / ``injections.fallback``
+  — CTA-sliced vs full-re-run split;
+* ``outcome.masked|sdc|crash|hang`` — classification counts;
+* ``prune.<stage>.sites_after`` / ``prune.<stage>.factor`` — gauges set by
+  the progressive pruner;
+* ``injection_s`` — histogram of per-injection wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary stats (count/total/min/max/mean) of observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for manifests and JSON export."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Aligned text table of every metric."""
+        lines: list[str] = []
+        if self._counters:
+            lines.append("counters:")
+            width = max(len(n) for n in self._counters)
+            for name in sorted(self._counters):
+                lines.append(f"  {name:{width}s} {self._counters[name].value:>14,}")
+        if self._gauges:
+            lines.append("gauges:")
+            width = max(len(n) for n in self._gauges)
+            for name in sorted(self._gauges):
+                lines.append(f"  {name:{width}s} {self._gauges[name].value:>14,.3f}")
+        if self._histograms:
+            lines.append("histograms:")
+            width = max(len(n) for n in self._histograms)
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                if h.count:
+                    lines.append(
+                        f"  {name:{width}s} n={h.count:<8d} "
+                        f"mean={h.mean:.6f} min={h.min:.6f} max={h.max:.6f}"
+                    )
+                else:
+                    lines.append(f"  {name:{width}s} n=0")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,131 @@
+"""Dependency-free progress reporting with rate and ETA.
+
+A :class:`ProgressReporter` has two faces:
+
+* a **callable** ``(done, total)`` — the shape the campaign drivers call
+  once per injection, so any plain function works in its place;
+* a **renderer** that throttles carriage-return updates to a stream
+  (stderr for the CLI) and fires an optional ``callback(reporter)`` on
+  every advance for programmatic consumers.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class ProgressReporter:
+    """Tracks completed work and renders ``done/total rate eta`` lines."""
+
+    def __init__(
+        self,
+        total: int | None = None,
+        label: str = "",
+        callback=None,
+        stream=None,
+        min_interval_s: float = 0.2,
+        clock=time.monotonic,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.callback = callback
+        self.stream = stream
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self.done = 0
+        self.started_at: float | None = None
+        self._last_render = -float("inf")
+        self._rendered = False
+
+    # ------------------------------------------------------------ updates
+
+    def start(self) -> None:
+        if self.started_at is None:
+            self.started_at = self._clock()
+
+    def update(self, n: int = 1) -> None:
+        """Advance by ``n`` completed units."""
+        self.start()
+        self.done += n
+        self._after_advance()
+
+    def __call__(self, done: int, total: int | None = None) -> None:
+        """Campaign-driver hook: absolute position, optional total."""
+        self.start()
+        self.done = done
+        if total is not None:
+            self.total = total
+        self._after_advance()
+
+    def _after_advance(self) -> None:
+        if self.callback is not None:
+            self.callback(self)
+        if self.stream is not None:
+            now = self._clock()
+            finished = self.total is not None and self.done >= self.total
+            if finished or now - self._last_render >= self.min_interval_s:
+                self.stream.write("\r" + self.render_line())
+                self.stream.flush()
+                self._last_render = now
+                self._rendered = True
+
+    def close(self) -> None:
+        """Final render plus newline, so the shell prompt stays clean."""
+        if self.stream is not None:
+            if not self._rendered:
+                self.stream.write(self.render_line())
+            else:
+                self.stream.write("\r" + self.render_line())
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def __enter__(self) -> "ProgressReporter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self._clock() - self.started_at
+
+    @property
+    def rate(self) -> float:
+        """Completed units per second (0 until the clock has advanced)."""
+        elapsed = self.elapsed_s
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float | None:
+        """Seconds remaining, or None when total/rate are unknown."""
+        if self.total is None or self.rate == 0:
+            return None
+        return max(0.0, (self.total - self.done) / self.rate)
+
+    def render_line(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            line = f"{prefix}{self.done}/{self.total} ({pct:5.1f}%)"
+        else:
+            line = f"{prefix}{self.done}"
+        if self.rate > 0:
+            line += f" {self.rate:8.1f}/s"
+        eta = self.eta_s
+        if eta is not None:
+            line += f" eta {_format_duration(eta)}"
+        return line
+
+
+def _format_duration(seconds: float) -> str:
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"

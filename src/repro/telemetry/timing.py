@@ -1,0 +1,100 @@
+"""Nested wall-clock spans for campaign phases.
+
+``SpanTimer.span("golden-run")`` is a context manager; nested spans
+aggregate under slash-joined paths (``"prune/prune.loop-wise"``), so the
+same stage timed inside different parents stays distinguishable.  Stats
+are aggregates (count/total/min/max), not per-entry traces — a campaign
+opens one span per injection and must not accumulate memory.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+
+
+class SpanStats:
+    """Aggregate wall-clock stats for one span path."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def record(self, dt: float) -> None:
+        self.count += 1
+        self.total_s += dt
+        if dt < self.min_s:
+            self.min_s = dt
+        if dt > self.max_s:
+            self.max_s = dt
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s if self.count else None,
+            "mean_s": self.mean_s,
+        }
+
+
+class SpanTimer:
+    """Aggregating span recorder with nesting."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: list[str] = []
+        self.stats: dict[str, SpanStats] = {}
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current_path(self) -> str:
+        return "/".join(self._stack)
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a phase; nested calls aggregate under joined paths."""
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        t0 = self._clock()
+        try:
+            yield path
+        finally:
+            dt = self._clock() - t0
+            self._stack.pop()
+            stats = self.stats.get(path)
+            if stats is None:
+                stats = self.stats[path] = SpanStats()
+            stats.record(dt)
+
+    def total(self, path: str) -> float:
+        stats = self.stats.get(path)
+        return stats.total_s if stats else 0.0
+
+    def snapshot(self) -> dict:
+        return {path: s.summary() for path, s in sorted(self.stats.items())}
+
+    def render(self) -> str:
+        if not self.stats:
+            return "(no spans recorded)"
+        width = max(len(p) for p in self.stats)
+        lines = ["spans:"]
+        for path in sorted(self.stats):
+            s = self.stats[path]
+            lines.append(
+                f"  {path:{width}s} n={s.count:<8d} "
+                f"total={s.total_s:9.4f}s mean={s.mean_s:.6f}s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Event typing, sinks, and JSONL round-trips of every event type."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import (
+    EVENT_TYPES,
+    CampaignEvent,
+    InjectionEvent,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    SimRunEvent,
+    StageEvent,
+    event_from_dict,
+    event_to_dict,
+    read_events,
+)
+
+SAMPLE_EVENTS = [
+    SimRunEvent(
+        1.0,
+        kind="golden",
+        n_ctas=4,
+        instructions=1234,
+        barrier_rounds=3,
+        hang=False,
+        memory_fault=False,
+        duration_s=0.5,
+    ),
+    InjectionEvent(
+        2.0,
+        thread=7,
+        dyn_index=19,
+        bit=30,
+        model="iov",
+        outcome="sdc",
+        fast_path=True,
+        duration_s=0.001,
+    ),
+    StageEvent(3.0, stage="loop-wise", sites_before=800, sites_after=120,
+               duration_s=0.01),
+    CampaignEvent(4.0, phase="end", campaign="random", n_sites=50,
+                  profile={"masked": 40.0, "sdc": 6.0, "other": 4.0}),
+]
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: type(e).__name__)
+    def test_round_trip_is_lossless(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_every_registered_type_is_covered(self):
+        covered = {type(e) for e in SAMPLE_EVENTS}
+        assert covered == set(EVENT_TYPES.values())
+
+    def test_dict_carries_record_name(self):
+        assert event_to_dict(SAMPLE_EVENTS[0])["event"] == "sim_run"
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"event": "bogus"})
+
+
+class TestSinks:
+    def test_null_sink_is_disabled_and_silent(self):
+        sink = NullSink()
+        assert sink.enabled is False
+        sink.emit(SAMPLE_EVENTS[0])  # no-op, no error
+
+    def test_memory_sink_keeps_order_and_filters(self):
+        sink = MemorySink()
+        for event in SAMPLE_EVENTS:
+            sink.emit(event)
+        assert sink.events == SAMPLE_EVENTS
+        assert sink.of_type(InjectionEvent) == [SAMPLE_EVENTS[1]]
+
+    def test_jsonl_sink_round_trips_every_type(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            for event in SAMPLE_EVENTS:
+                sink.emit(event)
+            assert sink.n_emitted == len(SAMPLE_EVENTS)
+        assert read_events(path) == SAMPLE_EVENTS
+
+    def test_jsonl_flush_each_survives_without_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_each=True)
+        sink.emit(SAMPLE_EVENTS[0])
+        # Not closed: the line must already be on disk.
+        assert read_events(path) == [SAMPLE_EVENTS[0]]
+        sink.close()

@@ -1,0 +1,91 @@
+"""Progress reporter: callbacks, rate/ETA math, stream rendering."""
+
+import io
+
+from repro.telemetry import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCallbacks:
+    def test_callback_fires_once_per_update(self):
+        seen = []
+        reporter = ProgressReporter(total=10, callback=lambda r: seen.append(r.done))
+        for _ in range(10):
+            reporter.update()
+        assert seen == list(range(1, 11))
+
+    def test_callable_interface_sets_absolute_position(self):
+        reporter = ProgressReporter()
+        reporter(3, 30)
+        assert reporter.done == 3
+        assert reporter.total == 30
+        reporter(4)
+        assert reporter.done == 4
+        assert reporter.total == 30
+
+
+class TestRateAndEta:
+    def test_rate_and_eta_from_clock(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(total=100, clock=clock)
+        reporter.start()
+        clock.advance(10.0)
+        reporter(20)
+        assert reporter.rate == 2.0
+        assert reporter.eta_s == 40.0
+
+    def test_eta_none_without_total_or_rate(self):
+        reporter = ProgressReporter()
+        assert reporter.eta_s is None
+        clock = FakeClock()
+        untimed = ProgressReporter(total=5, clock=clock)
+        assert untimed.eta_s is None  # no progress yet -> rate 0
+
+    def test_eta_clamps_at_zero_when_overshooting(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(total=10, clock=clock)
+        reporter.start()
+        clock.advance(1.0)
+        reporter(15)
+        assert reporter.eta_s == 0.0
+
+
+class TestRendering:
+    def test_stream_gets_throttled_updates_and_final_line(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=4, label="inj", stream=stream, min_interval_s=100.0, clock=clock
+        )
+        reporter.update()  # first render (interval satisfied at t=0)
+        reporter.update()  # throttled
+        reporter.update()  # throttled
+        reporter.update()  # final: done == total always renders
+        reporter.close()
+        text = stream.getvalue()
+        assert "inj: 4/4 (100.0%)" in text
+        assert text.endswith("\n")
+        # Throttle: the 2/4 and 3/4 lines must have been suppressed.
+        assert "2/4" not in text
+        assert "3/4" not in text
+
+    def test_render_line_without_total(self):
+        reporter = ProgressReporter()
+        reporter.update(7)
+        assert reporter.render_line().startswith("7")
+
+    def test_context_manager_closes_stream(self):
+        stream = io.StringIO()
+        with ProgressReporter(total=1, stream=stream) as reporter:
+            reporter.update()
+        assert stream.getvalue().endswith("\n")

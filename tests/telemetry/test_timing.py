@@ -1,0 +1,81 @@
+"""Span nesting, aggregation and the timer's snapshot/render API."""
+
+import pytest
+
+from repro.telemetry import SpanTimer
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanNesting:
+    def test_nested_spans_get_joined_paths(self):
+        timer = SpanTimer(clock=FakeClock())
+        with timer.span("outer"):
+            assert timer.current_path == "outer"
+            with timer.span("inner"):
+                assert timer.current_path == "outer/inner"
+                assert timer.depth == 2
+        assert timer.depth == 0
+        assert set(timer.stats) == {"outer", "outer/inner"}
+
+    def test_same_name_different_parents_stay_separate(self):
+        timer = SpanTimer(clock=FakeClock())
+        with timer.span("a"):
+            with timer.span("work"):
+                pass
+        with timer.span("b"):
+            with timer.span("work"):
+                pass
+        assert "a/work" in timer.stats
+        assert "b/work" in timer.stats
+        assert "work" not in timer.stats
+
+    def test_stack_unwinds_on_exception(self):
+        timer = SpanTimer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with timer.span("boom"):
+                raise ValueError("x")
+        assert timer.depth == 0
+        assert timer.stats["boom"].count == 1
+
+
+class TestAggregation:
+    def test_repeat_spans_aggregate(self):
+        clock = FakeClock(step=1.0)
+        timer = SpanTimer(clock=clock)
+        for _ in range(3):
+            with timer.span("phase"):
+                pass
+        stats = timer.stats["phase"]
+        assert stats.count == 3
+        # Every enter/exit pair reads the clock twice -> 1s per span.
+        assert stats.total_s == pytest.approx(3.0)
+        assert stats.mean_s == pytest.approx(1.0)
+        assert stats.min_s == pytest.approx(1.0)
+        assert stats.max_s == pytest.approx(1.0)
+
+    def test_total_helper_defaults_to_zero(self):
+        timer = SpanTimer()
+        assert timer.total("missing") == 0.0
+
+    def test_snapshot_and_render(self):
+        timer = SpanTimer(clock=FakeClock())
+        with timer.span("phase"):
+            pass
+        snap = timer.snapshot()
+        assert snap["phase"]["count"] == 1
+        assert "phase" in timer.render()
+
+    def test_empty_render_placeholder(self):
+        assert "no spans" in SpanTimer().render()
