@@ -10,6 +10,10 @@ Two cost profiles:
   suite completes in minutes;
 * ``REPRO_BENCH_FULL=1`` — paper-grade settings (16 sampled bits,
   95%/±3% baselines everywhere).
+
+``REPRO_BENCH_WORKERS=N`` fans every campaign the harness drives over N
+worker processes (see :mod:`repro.parallel`); results are identical to
+serial runs, only the wall clock changes.
 """
 
 from __future__ import annotations
@@ -18,7 +22,13 @@ import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro import FaultInjector, ProgressivePruner, load_instance, random_campaign
+from repro import (
+    FaultInjector,
+    ProgressivePruner,
+    load_instance,
+    random_campaign,
+    resolve_executor,
+)
 from repro.faults import CampaignResult
 from repro.pruning import PrunedSpace
 from repro.stats import sample_size_worst_case
@@ -27,6 +37,12 @@ from repro.telemetry import RunManifest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def bench_executor():
+    """The campaign executor benches share (None when serial)."""
+    return resolve_executor(WORKERS)
 
 
 @dataclass(frozen=True)
@@ -82,7 +98,7 @@ def baseline_for(key: str, n: int | None = None) -> CampaignResult:
     cache_key = (key, runs)
     if cache_key not in _baselines:
         _baselines[cache_key] = random_campaign(
-            injector_for(key), runs, rng=SETTINGS.seed
+            injector_for(key), runs, rng=SETTINGS.seed, executor=bench_executor()
         )
     return _baselines[cache_key]
 
@@ -102,7 +118,7 @@ def emit(name: str, text: str) -> None:
     manifest = RunManifest.create(
         kernel="",
         command=f"bench:{name}",
-        config={**asdict(SETTINGS), "full": FULL},
+        config={**asdict(SETTINGS), "full": FULL, "workers": WORKERS},
         seed=SETTINGS.seed,
     )
     manifest.write(RESULTS_DIR / f"{name}.manifest.json")

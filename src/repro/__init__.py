@@ -43,6 +43,7 @@ from .faults import (
     run_campaign,
 )
 from .kernels import KernelInstance, KernelSpec, all_kernels, get_kernel, load_instance
+from .parallel import ParallelCampaignRunner, SerialExecutor, resolve_executor
 from .pruning import ProgressivePruner, PrunedSpace
 from .telemetry import (
     NULL_TELEMETRY,
@@ -68,6 +69,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "Outcome",
+    "ParallelCampaignRunner",
     "ProgressReporter",
     "RunManifest",
     "Telemetry",
@@ -76,12 +78,14 @@ __all__ = [
     "PruningError",
     "ReproError",
     "ResilienceProfile",
+    "SerialExecutor",
     "SimulatorError",
     "all_kernels",
     "exhaustive_campaign",
     "get_kernel",
     "load_instance",
     "random_campaign",
+    "resolve_executor",
     "run_campaign",
     "__version__",
 ]

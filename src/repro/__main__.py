@@ -15,7 +15,9 @@ Commands:
 ``--telemetry-out events.jsonl`` streams typed events, ``--progress``
 renders per-injection rate/ETA to stderr, and ``--manifest run.json``
 writes an auditable run manifest (config, git rev, versions, profile,
-wall clock, metrics) — see ``docs/observability.md``.
+wall clock, metrics) — see ``docs/observability.md``.  ``--workers N``
+fans the campaign's injections over N worker processes (see
+``docs/performance.md``); profiles are identical to serial runs.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from . import (
     all_kernels,
     load_instance,
     random_campaign,
+    resolve_executor,
 )
 from .stats import sample_size_worst_case
 from .telemetry import (
@@ -60,6 +63,14 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write a reproducibility manifest (config, git rev, profile) to PATH",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=1,
+        help="fan injections over N worker processes (1 = serial; "
+        "profiles are identical either way)",
     )
 
 
@@ -181,6 +192,7 @@ def cmd_profile(args) -> int:
                 "loop_iters": args.loop_iters,
                 "bits": args.bits,
                 "seed": args.seed,
+                "workers": args.workers,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -192,7 +204,9 @@ def cmd_profile(args) -> int:
     )
     space = pruner.prune(injector)
     progress = _make_progress(args, label=f"{args.kernel} injections")
-    profile = space.estimate_profile(injector, progress=progress)
+    profile = space.estimate_profile(
+        injector, executor=resolve_executor(args.workers), progress=progress
+    )
     if progress is not None:
         progress.close()
     print(f"{args.kernel}: {space.total_sites:,} sites -> "
@@ -216,6 +230,7 @@ def cmd_baseline(args) -> int:
                 "margin": args.margin,
                 "seed": args.seed,
                 "runs": n,
+                "workers": args.workers,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -223,7 +238,13 @@ def cmd_baseline(args) -> int:
     t0 = time.perf_counter()
     injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
     progress = _make_progress(args, label=f"{args.kernel} baseline")
-    result = random_campaign(injector, n, rng=args.seed, progress=progress)
+    result = random_campaign(
+        injector,
+        n,
+        rng=args.seed,
+        executor=resolve_executor(args.workers),
+        progress=progress,
+    )
     if progress is not None:
         progress.close()
     print(f"{args.kernel}: {n} random injections "
@@ -242,7 +263,11 @@ def cmd_stages(args) -> int:
         manifest = RunManifest.create(
             kernel=args.kernel,
             command="stages",
-            config={"loop_iters": args.loop_iters, "bits": args.bits},
+            config={
+                "loop_iters": args.loop_iters,
+                "bits": args.bits,
+                "workers": args.workers,
+            },
             events_path=args.telemetry_out,
         )
     t0 = time.perf_counter()
@@ -270,14 +295,20 @@ def cmd_metrics(args) -> int:
         manifest = RunManifest.create(
             kernel=args.kernel,
             command="metrics",
-            config={"runs": args.runs, "seed": args.seed},
+            config={"runs": args.runs, "seed": args.seed, "workers": args.workers},
             seed=args.seed,
             events_path=args.telemetry_out,
         )
     t0 = time.perf_counter()
     injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
     progress = _make_progress(args, label=f"{args.kernel} metrics")
-    result = random_campaign(injector, args.runs, rng=args.seed, progress=progress)
+    result = random_campaign(
+        injector,
+        args.runs,
+        rng=args.seed,
+        executor=resolve_executor(args.workers),
+        progress=progress,
+    )
     if progress is not None:
         progress.close()
     print(f"{args.kernel}: {args.runs} instrumented random injections")

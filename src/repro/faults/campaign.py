@@ -56,6 +56,7 @@ def run_campaign(
     weights: Iterable[float] | None = None,
     *,
     telemetry: Telemetry | None = None,
+    executor=None,
     progress=None,
     total: int | None = None,
     keep_sites: bool = True,
@@ -67,6 +68,11 @@ def run_campaign(
         sites: any iterable of fault sites — consumed exactly once.
         weights: optional per-site weights, zipped strictly against sites.
         telemetry: event/metric/span bundle; defaults to the injector's.
+        executor: a :class:`~repro.parallel.ParallelCampaignRunner` (or
+            anything with its ``imap`` signature) to fan injections over
+            worker processes; ``None`` injects serially in-process.
+            Outcomes stream back in site order either way, so the profile
+            is identical for identical seeds.
         progress: ``callable(done, total)`` (a
             :class:`~repro.telemetry.ProgressReporter` works directly),
             invoked after every injection.
@@ -97,13 +103,16 @@ def run_campaign(
         if weights is None
         else zip(sites, weights, strict=True)
     )
+    if executor is None:
+        from ..parallel import SerialExecutor
+
+        executor = SerialExecutor()
     kept_sites: list[FaultSite] = []
     kept_outcomes: list[Outcome] = []
     profile = ResilienceProfile()
     done = 0
     with telemetry.span(f"campaign.{label}"):
-        for site, weight in pairs:
-            outcome = injector.inject(site)
+        for site, weight, outcome in executor.imap(injector, pairs, telemetry):
             profile.add(outcome, weight)
             if keep_sites:
                 kept_sites.append(site)

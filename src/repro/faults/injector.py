@@ -2,18 +2,34 @@
 
 ``FaultInjector`` wraps one staged :class:`~repro.kernels.KernelInstance`.
 On construction it performs the golden run, recording per-thread traces
-(which define the fault-site space), per-CTA global-memory write logs and
-the golden output image.
+(which define the fault-site space), per-CTA global-memory write/read logs
+and the golden output image.
 
-Each injection re-executes only the CTA that owns the injected thread
-against a snapshot of the *initial* heap (CTAs within one launch cannot
-communicate, so this is exact), then rebuilds the faulty final heap by
-reverting that CTA's golden writes and replaying its faulty ones.  If a
-corrupted-but-in-bounds pointer made the faulty CTA write into another
-CTA's output territory, ordering against the other CTA matters, so the
-injector detects the overlap and transparently falls back to a full
-re-execution.  ``inject_full`` is the reference slow path used for
-cross-validation.
+Injections execute over a ladder of progressively cheaper slices, each
+rung proven equivalent to the one below before its result is trusted:
+
+* **thread slice** — when the owning CTA provably exchanges no data
+  between its threads (no shared-memory instructions, and the CTA's
+  golden global reads never touch golden global writes), only the
+  injected thread re-executes.  Dynamic read/write logs of the faulty
+  run are checked against precomputed byte-ownership masks; any overlap
+  with what sibling threads read or wrote demotes the run one rung.
+* **CTA slice** — the paper's fast path: the owning CTA re-executes
+  against the initial heap (CTAs within one launch cannot communicate,
+  so this is exact) and its writes are overlaid onto the golden final
+  output image.  If a corrupted-but-in-bounds pointer wrote into another
+  CTA's output territory, ordering against the other CTA matters, so the
+  overlap is detected via the same ownership masks and the run falls
+  back to a full re-execution.
+* **full re-execution** — ``inject_full``, the reference slow path used
+  for cross-validation and as the final fallback.
+
+Hot-path engineering (see ``docs/performance.md``): one scratch heap is
+reused across injections and repaired from the write log instead of
+copying the golden heap; overlays patch only the output image instead of
+a full heap snapshot; and cross-CTA/intra-CTA overlap checks are numpy
+slice operations over precomputed byte-ownership masks rather than
+per-byte ``set`` scans.
 
 Outcome classification (paper Section II-B):
 
@@ -25,12 +41,14 @@ Outcome classification (paper Section II-B):
 
 from __future__ import annotations
 
+import bisect
 import time
 
 import numpy as np
 
 from ..errors import FaultInjectionError, HangDetected, MemoryFault
 from ..gpu import GPUSimulator, GlobalMemory
+from ..gpu.isa import MemRef
 from ..kernels.registry import KernelInstance
 from ..telemetry import NULL_TELEMETRY, InjectionEvent, Telemetry
 from .model import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
@@ -45,6 +63,17 @@ DEFAULT_HANG_FACTOR = 10
 #: Effective addresses and architected registers are 32-bit cells.
 ADDRESS_BITS = 32
 
+_EMPTY_PATCH = (np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.uint8))
+
+
+def _program_uses_shared(program) -> bool:
+    """Does any instruction touch the per-CTA shared scratchpad?"""
+    return any(
+        isinstance(operand, MemRef) and operand.space == "shared"
+        for insn in program.instructions
+        for operand in insn.srcs
+    )
+
 
 class FaultInjector:
     """Golden state plus the injection entry points for one kernel."""
@@ -55,11 +84,19 @@ class FaultInjector:
         hang_factor: int = DEFAULT_HANG_FACTOR,
         verify_golden: bool = True,
         telemetry: Telemetry | None = None,
+        thread_slicing: bool = True,
     ) -> None:
         self.instance = instance
         self.hang_factor = hang_factor
+        self.thread_slicing = thread_slicing  # the requested flag, as given
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._launcher = GPUSimulator(telemetry=self.telemetry)
+        # Thread slicing is sound only for CTAs whose threads provably do
+        # not communicate; the static half of that proof is "no shared
+        # memory instructions at all".
+        self._slicing_enabled = thread_slicing and not _program_uses_shared(
+            instance.program
+        )
 
         with self.telemetry.span("golden-run"):
             golden_memory = instance.golden_memory()
@@ -70,6 +107,8 @@ class FaultInjector:
                 memory=golden_memory,
                 record_traces=True,
                 record_write_logs=True,
+                record_read_logs=self._slicing_enabled,
+                record_thread_write_logs=self._slicing_enabled,
             )
             if verify_golden:
                 instance.verify_reference(golden_memory)
@@ -79,14 +118,6 @@ class FaultInjector:
         self._golden_memory = golden_memory
         self._golden_output = instance.output_bytes(golden_memory)
         self._cta_write_logs = result.cta_write_logs
-        # Byte addresses written by each CTA in the golden run, used both to
-        # revert a CTA's writes and to detect cross-CTA write overlap.
-        self._cta_write_bytes: list[set[int]] = []
-        for log in self._cta_write_logs:
-            touched: set[int] = set()
-            for address, raw in log:
-                touched.update(range(address, address + len(raw)))
-            self._cta_write_bytes.append(touched)
         tpc = instance.geometry.threads_per_cta
         self._cta_budget = [
             self.hang_factor
@@ -96,10 +127,89 @@ class FaultInjector:
         ]
         self.fallback_count = 0  # full re-executions forced by write overlap
 
+        self._build_ownership_masks(result)
+        self._build_output_image()
+        # One scratch heap reused by every sliced faulty run; repaired
+        # from the write log afterwards instead of re-copied.
+        self._scratch_memory = instance.initial_memory.snapshot()
+        self._cta_patches: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._thread_patches: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._rf_prefix_cache: dict[int, tuple[list[int], list[tuple[str, ...]]]] = {}
+
+    # --------------------------------------------------- golden-state index
+
+    def _build_ownership_masks(self, result) -> None:
+        """Byte-ownership masks over the allocated heap window.
+
+        ``_cta_write_mask[c][b]`` — CTA ``c`` wrote window byte ``b`` in
+        the golden run; ``_cta_write_count`` counts owning CTAs per byte,
+        so "some *other* CTA wrote this byte" is ``count > own`` — the
+        vectorised replacement for the former per-byte ``set`` scans.
+        """
+        geometry = self.instance.geometry
+        lo, hi = self.instance.initial_memory.allocation_span()
+        self._win_lo = lo
+        self._win_size = size = hi - lo
+        n_ctas = geometry.n_ctas
+        self._cta_write_mask = np.zeros((n_ctas, size), dtype=bool)
+        for cta, log in enumerate(self._cta_write_logs):
+            mask = self._cta_write_mask[cta]
+            for address, raw in log:
+                start = address - lo
+                mask[start : start + len(raw)] = True
+        self._cta_write_count = self._cta_write_mask.sum(axis=0, dtype=np.int16)
+
+        if not self._slicing_enabled:
+            self._cta_sliceable = [False] * n_ctas
+            return
+        self._cta_read_mask = np.zeros((n_ctas, size), dtype=bool)
+        for cta, log in enumerate(result.cta_read_logs):
+            mask = self._cta_read_mask[cta]
+            for address, nbytes in log:
+                start = address - lo
+                mask[start : start + nbytes] = True
+        # Threads-per-byte counts within each CTA, plus each thread's own
+        # written-byte offsets (for subtracting its contribution).
+        self._thread_write_count = np.zeros((n_ctas, size), dtype=np.int16)
+        self._thread_write_offsets: list[np.ndarray] = []
+        scratch = np.zeros(size, dtype=bool)
+        for thread, log in enumerate(result.thread_write_logs):
+            scratch[:] = False
+            for address, raw in log:
+                start = address - lo
+                scratch[start : start + len(raw)] = True
+            offsets = np.flatnonzero(scratch)
+            self._thread_write_offsets.append(offsets)
+            self._thread_write_count[geometry.cta_of_thread(thread)][offsets] += 1
+        # A CTA is thread-sliceable when its golden reads never touch its
+        # golden writes: no thread observed any thread's output, so every
+        # thread's golden behaviour is schedule-independent.
+        self._cta_sliceable = [
+            not (self._cta_read_mask[c] & self._cta_write_mask[c]).any()
+            for c in range(n_ctas)
+        ]
+
+    def _build_output_image(self) -> None:
+        """The golden output image plus the heap→image region table."""
+        regions = []
+        offset = 0
+        for buf in self.instance.outputs:
+            regions.append((buf.address, buf.address + buf.nbytes, offset))
+            offset += buf.nbytes
+        self._out_regions = regions
+        self._golden_image = np.frombuffer(self._golden_output, dtype=np.uint8)
+        self._image_scratch = self._golden_image.copy()
+        self._initial_window = np.frombuffer(
+            self.instance.initial_memory.raw_window(
+                self._win_lo, self._win_lo + self._win_size
+            ),
+            dtype=np.uint8,
+        )
+
     # ------------------------------------------------------------ injection
 
     def inject(self, site: FaultSite) -> Outcome:
-        """Classify one single-bit flip using the CTA-sliced fast path."""
+        """Classify one single-bit flip using the sliced fast paths."""
         self._check_site(site)
         return self.inject_spec(
             site.thread, InjectionSpec(site.dyn_index, site.bit), label=str(site)
@@ -128,18 +238,85 @@ class FaultInjector:
     def _run_spec(
         self, thread: int, spec: InjectionSpec, label: str | None = None
     ) -> Outcome:
-        """The uninstrumented fast path (CTA slice, overlay, classify)."""
+        """The uninstrumented fast path (slice, overlay, classify)."""
         label = label if label is not None else f"t{thread}:{spec}"
         self._check_spec(thread, spec)
-        geometry = self.instance.geometry
-        cta = geometry.cta_of_thread(thread)
-        memory = self.instance.initial_memory.snapshot()
+        cta = self.instance.geometry.cta_of_thread(thread)
+        telemetry = self.telemetry
+        if self._cta_sliceable[cta]:
+            outcome = self._run_spec_thread(thread, spec, label, cta)
+            if outcome is not None:
+                if telemetry.enabled:
+                    telemetry.count("injections.thread_sliced")
+                return outcome
+            # The faulty run touched bytes sibling threads read or wrote;
+            # demote to the CTA slice, which replays the full schedule.
+            if telemetry.enabled:
+                telemetry.count("injections.thread_sliced_fallback")
+        if telemetry.enabled:
+            telemetry.count("injections.cta_sliced")
+        return self._run_spec_cta(thread, spec, label, cta)
+
+    def _run_spec_thread(
+        self, thread: int, spec: InjectionSpec, label: str, cta: int
+    ) -> Outcome | None:
+        """Re-execute only the injected thread; ``None`` = demote to CTA."""
+        memory = self._scratch_memory
+        faulty_log: list[tuple[int, bytes]] = []
+        read_log: list[tuple[int, int]] = []
+        memory.write_log = faulty_log
+        memory.read_log = read_log
+        crashed = hanged = False
+        result = None
+        try:
+            result = self._launcher.launch(
+                self.instance.program,
+                self.instance.geometry,
+                self.instance.param_bytes,
+                memory=memory,
+                only_thread=thread,
+                injection=(thread, spec),
+                max_steps=self._cta_budget[cta],
+            )
+        except MemoryFault:
+            crashed = True
+        except HangDetected:
+            hanged = True
+        finally:
+            memory.write_log = None
+            memory.read_log = None
+            memory.revert_writes(faulty_log, self.instance.initial_memory)
+        # Interference must be ruled out even for crash/hang outcomes: up
+        # to the aborting access the thread's behaviour is only schedule-
+        # independent if it never touched sibling-owned bytes.
+        if self._thread_run_interferes(thread, cta, faulty_log, read_log):
+            return None
+        if crashed:
+            return Outcome.CRASH
+        if hanged:
+            return Outcome.HANG
+        if not result.injection_applied:
+            if spec.model is FaultModel.STORE_ADDRESS:
+                # The targeted store was predicated off: a corrupted address
+                # on a store that never issues has no effect.
+                return Outcome.MASKED
+            raise FaultInjectionError(f"injection at {label} never fired")
+        if self._writes_escape_cta(faulty_log, cta):
+            self.fallback_count += 1
+            return self._run_spec_full(thread, spec, label)
+        return self._classify_patched(self._thread_patch(thread), faulty_log)
+
+    def _run_spec_cta(
+        self, thread: int, spec: InjectionSpec, label: str, cta: int
+    ) -> Outcome:
+        """Re-execute the owning CTA against the (scratch) initial heap."""
+        memory = self._scratch_memory
         faulty_log: list[tuple[int, bytes]] = []
         memory.write_log = faulty_log
         try:
             result = self._launcher.launch(
                 self.instance.program,
-                geometry,
+                self.instance.geometry,
                 self.instance.param_bytes,
                 memory=memory,
                 only_cta=cta,
@@ -152,19 +329,16 @@ class FaultInjector:
             return Outcome.HANG
         finally:
             memory.write_log = None
+            memory.revert_writes(faulty_log, self.instance.initial_memory)
         if not result.injection_applied:
             if spec.model is FaultModel.STORE_ADDRESS:
-                # The targeted store was predicated off: a corrupted address
-                # on a store that never issues has no effect.
                 return Outcome.MASKED
             raise FaultInjectionError(f"injection at {label} never fired")
 
         if self._writes_escape_cta(faulty_log, cta):
             self.fallback_count += 1
             return self._run_spec_full(thread, spec, label)
-
-        faulty_final = self._overlay(cta, faulty_log)
-        return self._classify_output(faulty_final)
+        return self._classify_patched(self._cta_patch(cta), faulty_log)
 
     def inject_full(self, site: FaultSite) -> Outcome:
         """Reference slow path: re-execute the entire grid."""
@@ -236,10 +410,11 @@ class FaultInjector:
 
         Registers are drawn from those the thread has *written* by the
         chosen point (flipping a never-written cell models an upset in an
-        unallocated register — pointless to study).
+        unallocated register — pointless to study).  Per-thread prefixes
+        of the written-register set are cached, so repeated samples on
+        the same thread cost one binary search instead of a trace rescan.
         """
         sites: list[RegisterFileSite] = []
-        program = self.instance.program
         n_threads = len(self.traces)
         while len(sites) < n:
             thread = int(rng.integers(0, n_threads))
@@ -247,17 +422,47 @@ class FaultInjector:
             if not trace:
                 continue
             dyn_index = int(rng.integers(0, len(trace)))
-            written = {
-                program.instructions[pc].dest.name
-                for pc, width in trace[:dyn_index]
-                if width and program.instructions[pc].dest is not None
-            }
-            if not written:
+            positions, prefixes = self._rf_written_prefixes(thread)
+            written_count = bisect.bisect_left(positions, dyn_index)
+            if not written_count:
                 continue
-            reg = sorted(written)[int(rng.integers(0, len(written)))]
+            written = prefixes[written_count]
+            reg = written[int(rng.integers(0, written_count))]
             bit = int(rng.integers(0, ADDRESS_BITS))
             sites.append(RegisterFileSite(thread, dyn_index, reg, bit))
         return sites
+
+    def _rf_written_prefixes(
+        self, thread: int
+    ) -> tuple[list[int], list[tuple[str, ...]]]:
+        """First-write positions plus name-sorted prefixes of the written set.
+
+        ``prefixes[k]`` is the sorted tuple of the first ``k`` registers
+        (in first-write order); the set of registers written strictly
+        before dynamic index ``i`` is ``prefixes[bisect_left(positions, i)]``
+        — identical to rescanning ``trace[:i]`` but O(log writes).
+        """
+        cached = self._rf_prefix_cache.get(thread)
+        if cached is None:
+            instructions = self.instance.program.instructions
+            positions: list[int] = []
+            order: list[str] = []
+            seen: set[str] = set()
+            for index, (pc, width) in enumerate(self.traces[thread]):
+                if not width:
+                    continue
+                dest = instructions[pc].dest
+                if dest is None or dest.name in seen:
+                    continue
+                seen.add(dest.name)
+                positions.append(index)
+                order.append(dest.name)
+            prefixes: list[tuple[str, ...]] = [()]
+            for k in range(1, len(order) + 1):
+                prefixes.append(tuple(sorted(order[:k])))
+            cached = (positions, prefixes)
+            self._rf_prefix_cache[thread] = cached
+        return cached
 
     # -------------------------------------------------------------- helpers
 
@@ -323,24 +528,141 @@ class FaultInjector:
                 raise FaultInjectionError(f"register bit {spec.bit} out of range")
 
     def _writes_escape_cta(self, faulty_log, cta: int) -> bool:
-        """Did the faulty CTA write bytes another CTA also writes?"""
-        others: list[set[int]] = [
-            touched
-            for index, touched in enumerate(self._cta_write_bytes)
-            if index != cta
-        ]
-        own = self._cta_write_bytes[cta]
+        """Did the faulty CTA write bytes another CTA also writes?
+
+        Vectorised over the precomputed ownership masks: a span escapes
+        iff it is not fully covered by the CTA's own golden writes and at
+        least one of its bytes is owned by a different CTA
+        (``count > own`` byte-wise).
+        """
+        own = self._cta_write_mask[cta]
+        count = self._cta_write_count
+        lo = self._win_lo
+        size = self._win_size
         for address, raw in faulty_log:
-            span = range(address, address + len(raw))
-            if all(b in own for b in span):
-                continue
-            for touched in others:
-                if any(b in touched for b in span):
+            start = address - lo
+            end = start + len(raw)
+            if start < 0 or end > size:
+                # Bytes outside the allocated window belong to no CTA, so
+                # the span cannot be "all own"; check the in-window part
+                # for foreign ownership.
+                c0, c1 = max(start, 0), min(end, size)
+                if c0 < c1 and (count[c0:c1] > own[c0:c1]).any():
                     return True
+                continue
+            span_own = own[start:end]
+            if span_own.all():
+                continue
+            if (count[start:end] > span_own).any():
+                return True
         return False
 
+    def _thread_run_interferes(
+        self, thread: int, cta: int, faulty_log, read_log
+    ) -> bool:
+        """Did a thread-sliced run touch bytes sibling threads own?
+
+        True when the faulty thread read anything its CTA wrote, wrote
+        anything its CTA read, or wrote a byte some *other* thread of the
+        CTA also wrote — any of which makes the single-thread replay
+        schedule-dependent, so the CTA slice must decide instead.
+        """
+        cta_writes = self._cta_write_mask[cta]
+        cta_reads = self._cta_read_mask[cta]
+        thread_counts = self._thread_write_count[cta]
+        own_offsets = self._thread_write_offsets[thread]
+        lo = self._win_lo
+        size = self._win_size
+        for address, nbytes in read_log:
+            start = max(address - lo, 0)
+            end = min(address - lo + nbytes, size)
+            if start < end and cta_writes[start:end].any():
+                return True
+        for address, raw in faulty_log:
+            start = max(address - lo, 0)
+            end = min(address - lo + len(raw), size)
+            if start >= end:
+                continue
+            if cta_reads[start:end].any():
+                return True
+            counts = thread_counts[start:end]
+            if not counts.any():
+                continue
+            span_own = np.zeros(end - start, dtype=np.int16)
+            if own_offsets.size:
+                left = np.searchsorted(own_offsets, start)
+                right = np.searchsorted(own_offsets, end)
+                span_own[own_offsets[left:right] - start] = 1
+            if (counts > span_own).any():
+                return True
+        return False
+
+    def _cta_patch(self, cta: int) -> tuple[np.ndarray, np.ndarray]:
+        """Image patch reverting CTA ``cta``'s golden writes to initial."""
+        patch = self._cta_patches.get(cta)
+        if patch is None:
+            offsets = np.flatnonzero(self._cta_write_mask[cta])
+            patch = self._cta_patches[cta] = self._revert_patch(offsets)
+        return patch
+
+    def _thread_patch(self, thread: int) -> tuple[np.ndarray, np.ndarray]:
+        """Image patch reverting one thread's golden writes to initial."""
+        patch = self._thread_patches.get(thread)
+        if patch is None:
+            offsets = self._thread_write_offsets[thread]
+            patch = self._thread_patches[thread] = self._revert_patch(offsets)
+        return patch
+
+    def _revert_patch(self, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map window byte offsets to (output-image indices, initial bytes)."""
+        index_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        lo = self._win_lo
+        for region_lo, region_hi, image_off in self._out_regions:
+            a, b = region_lo - lo, region_hi - lo
+            selected = offsets[(offsets >= a) & (offsets < b)]
+            if selected.size:
+                index_parts.append(selected - a + image_off)
+                value_parts.append(self._initial_window[selected])
+        if not index_parts:
+            return _EMPTY_PATCH
+        return np.concatenate(index_parts), np.concatenate(value_parts)
+
+    def _classify_patched(
+        self, patch: tuple[np.ndarray, np.ndarray], faulty_log
+    ) -> Outcome:
+        """Classify by patching only the output image, never a full heap.
+
+        Equivalent to the reference ``_overlay`` + ``_classify_output``
+        path: start from the golden output image, revert the slice's
+        golden writes to initial values (order-free — all revert bytes
+        are initial), then replay the faulty writes in program order.
+        """
+        image = self._image_scratch
+        np.copyto(image, self._golden_image)
+        indices, values = patch
+        if indices.size:
+            image[indices] = values
+        regions = self._out_regions
+        for address, raw in faulty_log:
+            end = address + len(raw)
+            for region_lo, region_hi, image_off in regions:
+                if address < region_hi and end > region_lo:
+                    a = address if address >= region_lo else region_lo
+                    b = end if end <= region_hi else region_hi
+                    image[image_off + a - region_lo : image_off + b - region_lo] = (
+                        np.frombuffer(raw[a - address : b - address], dtype=np.uint8)
+                    )
+        if np.array_equal(image, self._golden_image):
+            return Outcome.MASKED
+        return Outcome.SDC
+
     def _overlay(self, cta: int, faulty_log) -> GlobalMemory:
-        """Golden final heap with CTA ``cta``'s writes replaced."""
+        """Golden final heap with CTA ``cta``'s writes replaced.
+
+        The reference full-heap overlay, kept for severity analysis and
+        cross-validation of the patched-image classifier.
+        """
         final = self._golden_memory.snapshot()
         initial = self.instance.initial_memory
         for address, raw in self._cta_write_logs[cta]:

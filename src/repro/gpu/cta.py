@@ -19,20 +19,40 @@ from __future__ import annotations
 from .thread import ThreadContext, ThreadState
 
 
-def run_cta(threads: list[ThreadContext]) -> int:
+def run_cta(
+    threads: list[ThreadContext],
+    thread_write_logs: list[list[tuple[int, bytes]]] | None = None,
+) -> int:
     """Drive every thread of one CTA to completion.
 
     Returns the number of barrier-release rounds (a telemetry counter for
     how often the CTA synchronised).  Raises whatever the threads raise
     (``MemoryFault``, ``HangDetected``); callers decide whether that is a
     crash under injection or a kernel bug.
+
+    When ``thread_write_logs`` (one list per thread) is given, global
+    writes are additionally attributed to the thread that issued them by
+    swapping the heap's write log around each run-to-barrier segment; the
+    CTA-level log keeps its schedule order.
     """
     barrier_rounds = 0
+    heap = threads[0].global_mem if threads else None
     while True:
         progressed = False
-        for thread in threads:
+        for slot, thread in enumerate(threads):
             if thread.state is ThreadState.RUNNING:
-                thread.run_until_block()
+                if thread_write_logs is None or heap.write_log is None:
+                    thread.run_until_block()
+                else:
+                    cta_log = heap.write_log
+                    segment: list[tuple[int, bytes]] = []
+                    heap.write_log = segment
+                    try:
+                        thread.run_until_block()
+                    finally:
+                        heap.write_log = cta_log
+                        cta_log.extend(segment)
+                        thread_write_logs[slot].extend(segment)
                 progressed = True
         waiting = [t for t in threads if t.state is ThreadState.AT_BARRIER]
         if waiting:

@@ -54,7 +54,10 @@ class GlobalMemory:
 
     The write log is the mechanism behind the injector's CTA-sliced fast
     path: a faulty CTA re-executes against a copy of the *initial* heap, and
-    its logged writes are overlaid onto the golden final heap.
+    its logged writes are overlaid onto the golden final heap.  The read
+    log records ``(address, size)`` of every ``ld`` so the injector can
+    prove that a sliced re-execution observed no bytes another thread
+    produced.
     """
 
     def __init__(self, size: int = 1 << 20) -> None:
@@ -62,6 +65,7 @@ class GlobalMemory:
         self._allocations: list[tuple[int, int]] = []
         self._next = GLOBAL_BASE
         self.write_log: list[tuple[int, bytes]] | None = None
+        self.read_log: list[tuple[int, int]] | None = None
 
     @property
     def size(self) -> int:
@@ -88,6 +92,8 @@ class GlobalMemory:
     def load(self, address: int, dtype: DataType) -> int | float:
         size = dtype.width // 8
         self._check(address, size)
+        if self.read_log is not None:
+            self.read_log.append((address, size))
         return decode_value(bytes(self._data[address : address + size]), dtype)
 
     def store(self, address: int, value: int | float, dtype: DataType) -> None:
@@ -108,12 +114,13 @@ class GlobalMemory:
             self.write_log.append((address, bytes(raw)))
 
     def snapshot(self) -> "GlobalMemory":
-        """An independent copy sharing the allocation map (write log cleared)."""
+        """An independent copy sharing the allocation map (logs cleared)."""
         clone = GlobalMemory.__new__(GlobalMemory)
         clone._data = bytearray(self._data)
         clone._allocations = list(self._allocations)
         clone._next = self._next
         clone.write_log = None
+        clone.read_log = None
         return clone
 
     def apply_writes(self, writes: list[tuple[int, bytes]]) -> None:
@@ -121,6 +128,38 @@ class GlobalMemory:
         for address, raw in writes:
             self._check(address, len(raw))
             self._data[address : address + len(raw)] = raw
+
+    def revert_writes(
+        self, writes: list[tuple[int, bytes]], source: "GlobalMemory"
+    ) -> None:
+        """Reset every logged span back to ``source``'s bytes.
+
+        The injector's scratch-heap reuse depends on this: instead of
+        copying the full golden heap per injection, one scratch heap is
+        repaired in O(bytes actually written) after every faulty run.
+        """
+        data = self._data
+        src = source._data
+        for address, raw in writes:
+            end = address + len(raw)
+            data[address:end] = src[address:end]
+
+    def raw_window(self, lo: int, hi: int) -> bytes:
+        """Raw heap bytes in ``[lo, hi)`` without allocation checks.
+
+        The allocation span contains alignment gaps between buffers, so
+        whole-window reads (the injector's ownership masks) cannot go
+        through :meth:`read_bytes`.
+        """
+        return bytes(self._data[lo:hi])
+
+    def allocation_span(self) -> tuple[int, int]:
+        """``(lo, hi)`` byte bounds covering every live allocation."""
+        if not self._allocations:
+            return (GLOBAL_BASE, GLOBAL_BASE)
+        lo = min(base for base, _ in self._allocations)
+        hi = max(base + nbytes for base, nbytes in self._allocations)
+        return lo, hi
 
 
 class SharedMemory:

@@ -6,9 +6,11 @@ cannot communicate, per the CUDA execution model, so sequential order is
 exact).  It exposes the three facilities the fault-injection layer builds
 on:
 
-* **golden runs** with per-thread dynamic traces and per-CTA write logs;
-* **sliced runs** (``only_cta=``) that re-execute a single CTA against a
-  heap snapshot — the injector's fast path;
+* **golden runs** with per-thread dynamic traces, per-CTA write/read logs
+  and optional per-thread write attribution;
+* **sliced runs** (``only_cta=`` / ``only_thread=``) that re-execute a
+  single CTA — or a single thread of a communication-free CTA — against a
+  heap snapshot: the injector's fast paths;
 * **injected runs** that flip one destination-register bit in one dynamic
   instruction of one thread.
 """
@@ -85,6 +87,10 @@ class LaunchResult:
     injection_applied: bool
     instructions: int = 0
     barrier_rounds: int = 0
+    #: Per-thread global-write attribution (``record_thread_write_logs``).
+    thread_write_logs: list[list[tuple[int, bytes]]] | None = None
+    #: Per-CTA ``(address, size)`` load logs (``record_read_logs``).
+    cta_read_logs: list[list[tuple[int, int]]] | None = None
 
 
 class GPUSimulator:
@@ -123,7 +129,10 @@ class GPUSimulator:
         memory: GlobalMemory | None = None,
         record_traces: bool = False,
         record_write_logs: bool = False,
+        record_read_logs: bool = False,
+        record_thread_write_logs: bool = False,
         only_cta: int | None = None,
+        only_thread: int | None = None,
         injection: tuple | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
     ) -> LaunchResult:
@@ -132,7 +141,14 @@ class GPUSimulator:
         Args:
             param_bytes: packed kernel-parameter block.
             memory: heap to run against (defaults to the simulator's own).
+            record_read_logs: log every global load as ``(address, size)``
+                per CTA (golden runs; powers thread-sliced injection).
+            record_thread_write_logs: attribute global writes to the
+                issuing thread (requires ``record_write_logs``).
             only_cta: execute just this CTA (the injection fast path).
+            only_thread: execute just this global thread — valid only for
+                kernels whose CTA threads provably do not communicate;
+                the caller (the injector) is responsible for that proof.
             injection: either the legacy ``(global_thread_id, dyn_index,
                 bit)`` destination-value flip, or ``(global_thread_id,
                 InjectionSpec)`` for the extended fault models.
@@ -155,7 +171,16 @@ class GPUSimulator:
             else:
                 injection_thread, injection_spec = injection
         tpc = geometry.threads_per_cta
-        ctas = range(geometry.n_ctas) if only_cta is None else (only_cta,)
+        if only_thread is not None:
+            if only_cta is not None:
+                raise SimulatorError("only_cta and only_thread are exclusive")
+            if not 0 <= only_thread < geometry.n_threads:
+                raise SimulatorError(f"thread {only_thread} outside grid")
+            only_slot = only_thread % tpc
+            ctas: tuple[int, ...] | range = (geometry.cta_of_thread(only_thread),)
+        else:
+            only_slot = None
+            ctas = range(geometry.n_ctas) if only_cta is None else (only_cta,)
         if only_cta is not None and not 0 <= only_cta < geometry.n_ctas:
             raise SimulatorError(f"CTA {only_cta} outside grid")
 
@@ -163,6 +188,14 @@ class GPUSimulator:
         trace_map: dict[int, ThreadTrace] = {}
         write_logs: list[list[tuple[int, bytes]]] | None = (
             [[] for _ in range(geometry.n_ctas)] if record_write_logs else None
+        )
+        read_logs: list[list[tuple[int, int]]] | None = (
+            [[] for _ in range(geometry.n_ctas)] if record_read_logs else None
+        )
+        thread_write_logs: list[list[tuple[int, bytes]]] | None = (
+            [[] for _ in range(geometry.n_threads)]
+            if record_thread_write_logs and record_write_logs
+            else None
         )
         injection_applied = False
         telemetry = self.telemetry
@@ -176,8 +209,9 @@ class GPUSimulator:
                 shared = (
                     SharedMemory(program.shared_bytes) if program.shared_bytes else None
                 )
+                slots = range(tpc) if only_slot is None else (only_slot,)
                 threads = []
-                for slot in range(tpc):
+                for slot in slots:
                     thread_id = cta * tpc + slot
                     thread_injection = None
                     if injection_thread == thread_id:
@@ -194,15 +228,26 @@ class GPUSimulator:
                             injection=thread_injection,
                         )
                     )
+                caller_write_log = heap.write_log
+                caller_read_log = heap.read_log
                 if write_logs is not None:
                     heap.write_log = write_logs[cta]
+                if read_logs is not None:
+                    heap.read_log = read_logs[cta]
+                segment_logs = (
+                    [thread_write_logs[cta * tpc + slot] for slot in slots]
+                    if thread_write_logs is not None
+                    else None
+                )
                 try:
-                    barrier_rounds += run_cta(threads)
+                    barrier_rounds += run_cta(threads, segment_logs)
                 finally:
-                    heap.write_log = None
+                    heap.write_log = caller_write_log if write_logs is None else None
+                    if read_logs is not None:
+                        heap.read_log = caller_read_log
                     for thread in threads:
                         instructions += thread.dyn_count
-                for slot, thread in enumerate(threads):
+                for slot, thread in zip(slots, threads):
                     if record_traces:
                         trace_map[cta * tpc + slot] = thread.trace  # type: ignore[assignment]
                     if injection_thread == cta * tpc + slot:
@@ -215,11 +260,12 @@ class GPUSimulator:
             raise
         finally:
             if telemetry.enabled:
-                kind = (
-                    "sliced"
-                    if only_cta is not None
-                    else ("golden" if injection_thread is None else "full")
-                )
+                if only_thread is not None:
+                    kind = "thread-sliced"
+                elif only_cta is not None:
+                    kind = "sliced"
+                else:
+                    kind = "golden" if injection_thread is None else "full"
                 telemetry.count("sim.launches")
                 telemetry.count("sim.instructions", instructions)
                 telemetry.count("sim.barrier_rounds", barrier_rounds)
@@ -240,12 +286,12 @@ class GPUSimulator:
                     )
                 )
 
-        if injection_thread is not None and only_cta is None:
+        if injection_thread is not None and only_cta is None and only_thread is None:
             owner = geometry.cta_of_thread(injection_thread)
             if owner not in ctas:  # pragma: no cover - defensive
                 raise FaultInjectionError("injection thread outside launched CTAs")
         if record_traces:
-            if only_cta is None:
+            if only_cta is None and only_thread is None:
                 traces = [trace_map[t] for t in range(geometry.n_threads)]
             else:
                 traces = [trace_map[t] for t in sorted(trace_map)]
@@ -256,4 +302,6 @@ class GPUSimulator:
             injection_applied=injection_applied,
             instructions=instructions,
             barrier_rounds=barrier_rounds,
+            thread_write_logs=thread_write_logs,
+            cta_read_logs=read_logs,
         )

@@ -1,0 +1,274 @@
+"""Process-pool campaign execution.
+
+Fault injections are embarrassingly parallel: each one is an independent
+sliced re-execution against immutable golden state.  This module fans a
+campaign's sites out over a pool of worker processes, each of which
+builds its own :class:`~repro.faults.FaultInjector` **once** (in the pool
+initializer, amortising the golden run over the worker's lifetime) and
+then classifies chunks of sites.
+
+Determinism guarantee: outcomes stream back to the caller in exact site
+order regardless of which worker finished first, the parent applies the
+site weights itself, and every worker classifies with the same injector
+the serial path would use — so for a fixed seed the resulting
+:class:`~repro.faults.ResilienceProfile` is byte-identical to a serial
+run, and worker ``fallback_count`` deltas sum to the serial total.
+
+Telemetry: when the parent campaign is instrumented, each worker records
+into a private in-memory :class:`~repro.telemetry.Telemetry`; the deltas
+(events, counters, histograms, spans) ship back with each chunk and are
+absorbed into the parent handle (counters add, gauges last-write-win,
+histogram/span stats combine).
+
+Degradation: ``workers <= 1``, an unpicklable kernel instance, or a
+platform without usable process pools all fall back to the serial
+in-process path — same results, no pool.
+
+See ``docs/performance.md`` for measured scaling and chunk-size guidance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .telemetry import NULL_TELEMETRY, MemorySink, Telemetry, event_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> parallel)
+    from .faults.injector import FaultInjector
+    from .faults.outcome import Outcome
+    from .faults.site import FaultSite
+
+#: Default number of sites per worker task: large enough that IPC and
+#: chunk bookkeeping are noise next to ~ms-scale injections, small enough
+#: that a pool stays busy near a campaign's tail.
+DEFAULT_CHUNK_SIZE = 32
+
+
+class SerialExecutor:
+    """The in-process reference executor: inject sites one by one."""
+
+    workers = 1
+
+    def imap(
+        self,
+        injector: "FaultInjector",
+        pairs: Iterable[tuple["FaultSite", float]],
+        telemetry: Telemetry | None = None,
+    ) -> Iterator[tuple["FaultSite", float, "Outcome"]]:
+        for site, weight in pairs:
+            yield site, weight, injector.inject(site)
+
+
+# ----------------------------------------------------------- worker side
+#
+# Pool workers hold one injector for their whole lifetime.  Module-level
+# globals are the standard multiprocessing idiom: the initializer runs
+# once per worker process, and every task reads the same globals.
+
+_WORKER_INJECTOR: "FaultInjector | None" = None
+_WORKER_TELEMETRY: Telemetry = NULL_TELEMETRY
+
+
+def _build_payload(injector: "FaultInjector") -> dict | None:
+    """A picklable recipe for rebuilding ``injector`` in a worker.
+
+    Registered kernels travel as their registry key (workers rebuild the
+    deterministic instance themselves — cheap and always picklable);
+    ad-hoc instances travel pickled.  ``None`` means the injector cannot
+    cross a process boundary and the campaign must run serially.
+    """
+    payload: dict = {
+        "hang_factor": injector.hang_factor,
+        "thread_slicing": injector.thread_slicing,
+        "instrumented": injector.telemetry.enabled,
+    }
+    spec = injector.instance.spec
+    if spec is not None:
+        from .kernels.registry import get_kernel
+
+        try:
+            if get_kernel(spec.key) is spec:
+                payload["kernel"] = spec.key
+                return payload
+        except Exception:  # pragma: no cover - unregistered ad-hoc spec
+            pass
+    try:
+        payload["instance"] = pickle.dumps(injector.instance)
+    except Exception:
+        return None
+    return payload
+
+
+def _init_worker(payload: dict) -> None:
+    """Pool initializer: build this worker's injector once."""
+    global _WORKER_INJECTOR, _WORKER_TELEMETRY
+    from .faults.injector import FaultInjector
+
+    if "kernel" in payload:
+        from .kernels.registry import load_instance
+
+        instance = load_instance(payload["kernel"])
+    else:
+        instance = pickle.loads(payload["instance"])
+    telemetry = Telemetry(sink=MemorySink()) if payload["instrumented"] else NULL_TELEMETRY
+    _WORKER_INJECTOR = FaultInjector(
+        instance,
+        hang_factor=payload["hang_factor"],
+        verify_golden=False,  # the parent already verified this instance
+        telemetry=telemetry,
+        thread_slicing=payload["thread_slicing"],
+    )
+    _WORKER_TELEMETRY = telemetry
+
+
+def _run_chunk(sites: list["FaultSite"]) -> tuple[list[str], int, dict | None]:
+    """Classify one chunk; ship outcome values + telemetry/fallback deltas."""
+    injector = _WORKER_INJECTOR
+    assert injector is not None, "worker initializer did not run"
+    fallbacks_before = injector.fallback_count
+    outcomes = [injector.inject(site).value for site in sites]
+    fallback_delta = injector.fallback_count - fallbacks_before
+    telemetry = _WORKER_TELEMETRY
+    snapshot = None
+    if telemetry.enabled:
+        sink = telemetry.sink
+        snapshot = {
+            "events": [event_to_dict(e) for e in sink.events],
+            "metrics": telemetry.metrics.snapshot(),
+            "spans": telemetry.spans.snapshot(),
+        }
+        # Reset so the next chunk ships deltas, not cumulative state.
+        sink.events.clear()
+        telemetry.metrics.__init__()
+        telemetry.spans.__init__()
+    return outcomes, fallback_delta, snapshot
+
+
+# ----------------------------------------------------------- parent side
+
+
+class ParallelCampaignRunner:
+    """Fan campaign sites over a process pool, stream outcomes in order.
+
+    Args:
+        workers: pool size; ``<= 1`` degrades to the serial path.
+        chunk_size: sites per worker task.
+        start_method: multiprocessing start method (``"fork"``/``"spawn"``/
+            ``"forkserver"``); default prefers ``fork`` where available
+            (cheap worker start) and falls back to the platform default.
+        max_pending: in-flight task bound; defaults to ``4 * workers`` so
+            site iterables stream instead of materialising.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        start_method: str | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.max_pending = max_pending if max_pending is not None else 4 * max(workers, 1)
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def imap(
+        self,
+        injector: "FaultInjector",
+        pairs: Iterable[tuple["FaultSite", float]],
+        telemetry: Telemetry | None = None,
+    ) -> Iterator[tuple["FaultSite", float, "Outcome"]]:
+        """Yield ``(site, weight, outcome)`` in exact input order."""
+        telemetry = telemetry if telemetry is not None else injector.telemetry
+        if self.workers <= 1:
+            yield from SerialExecutor().imap(injector, pairs, telemetry)
+            return
+        payload = _build_payload(injector)
+        if payload is None:
+            if telemetry.enabled:
+                telemetry.count("parallel.serial_fallback")
+            yield from SerialExecutor().imap(injector, pairs, telemetry)
+            return
+        try:
+            pool = self._context().Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        except (OSError, ValueError):  # pragma: no cover - pool-less platforms
+            if telemetry.enabled:
+                telemetry.count("parallel.serial_fallback")
+            yield from SerialExecutor().imap(injector, pairs, telemetry)
+            return
+        if telemetry.enabled:
+            telemetry.set_gauge("parallel.workers", self.workers)
+        try:
+            yield from self._drive(pool, injector, pairs, telemetry)
+        finally:
+            pool.terminate()
+            pool.join()
+
+    def _drive(self, pool, injector, pairs, telemetry):
+        """Submit chunks up to ``max_pending``; drain strictly in order."""
+        from .faults.outcome import Outcome
+
+        pending: deque = deque()
+
+        def drain_one():
+            chunk, handle = pending.popleft()
+            # .get() re-raises any worker exception in the parent, so a
+            # crash inside a worker surfaces exactly like a serial one.
+            outcomes, fallback_delta, snapshot = handle.get()
+            injector.fallback_count += fallback_delta
+            if telemetry.enabled:
+                telemetry.count("parallel.chunks")
+                if snapshot is not None:
+                    telemetry.absorb(snapshot)
+            for (site, weight), value in zip(chunk, outcomes, strict=True):
+                yield site, weight, Outcome(value)
+
+        for chunk in self._chunked(pairs):
+            sites = [site for site, _weight in chunk]
+            pending.append((chunk, pool.apply_async(_run_chunk, (sites,))))
+            if len(pending) >= self.max_pending:
+                yield from drain_one()
+        while pending:
+            yield from drain_one()
+
+    def _chunked(self, pairs):
+        chunk: list = []
+        for pair in pairs:
+            chunk.append(pair)
+            if len(chunk) >= self.chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+
+def resolve_executor(
+    workers: int | None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    start_method: str | None = None,
+) -> ParallelCampaignRunner | None:
+    """``--workers N`` semantics: ``None``/``<=1`` means plain serial."""
+    if workers is None or workers <= 1:
+        return None
+    return ParallelCampaignRunner(
+        workers, chunk_size=chunk_size, start_method=start_method
+    )

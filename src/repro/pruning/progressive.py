@@ -71,18 +71,22 @@ class PrunedSpace:
         self,
         injector: FaultInjector,
         telemetry: Telemetry | None = None,
+        executor=None,
         progress=None,
     ) -> ResilienceProfile:
         """Exhaustively inject the pruned space and extrapolate.
 
         ``telemetry``/``progress`` flow into the underlying campaign, so
-        every weighted injection is observable like any other run.
+        every weighted injection is observable like any other run;
+        ``executor`` fans the weighted injections over worker processes
+        (see :mod:`repro.parallel`) without changing the profile.
         """
         result = run_campaign(
             injector,
             (ws.site for ws in self.sites),
             weights=(ws.weight for ws in self.sites),
             telemetry=telemetry,
+            executor=executor,
             progress=progress,
             total=len(self.sites),
             keep_sites=False,

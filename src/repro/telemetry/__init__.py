@@ -100,6 +100,20 @@ class Telemetry:
     def set_gauge(self, name: str, value: float) -> None:
         self.metrics.gauge(name).set(value)
 
+    def absorb(self, snapshot: dict) -> None:
+        """Merge a worker-shipped telemetry snapshot into this handle.
+
+        ``snapshot`` is the wire form parallel campaign workers produce:
+        ``{"events": [event dicts], "metrics": MetricsRegistry.snapshot(),
+        "spans": SpanTimer.snapshot()}``.  Events are re-emitted into this
+        sink; counters add, gauges last-write-win, histogram/span stats
+        combine (see :meth:`MetricsRegistry.merge` / :meth:`SpanTimer.merge`).
+        """
+        for payload in snapshot.get("events", ()):
+            self.emit(event_from_dict(payload))
+        self.metrics.merge(snapshot.get("metrics", {}))
+        self.spans.merge(snapshot.get("spans", {}))
+
     def close(self) -> None:
         self.sink.close()
 
@@ -131,6 +145,9 @@ class NullTelemetry(Telemetry):
         pass
 
     def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def absorb(self, snapshot: dict) -> None:
         pass
 
 

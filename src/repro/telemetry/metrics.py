@@ -108,6 +108,30 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram()
         return metric
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used when parallel campaign workers ship their metrics back to
+        the parent process: counters add, gauges take the incoming value
+        (last-write-wins, same as a local ``set``), histograms combine
+        count/total/min/max — exactly the stats a single registry would
+        hold had it seen every observation itself.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            if not summary.get("count"):
+                continue
+            metric = self.histogram(name)
+            metric.count += summary["count"]
+            metric.total += summary["total"]
+            if summary["min"] < metric.min:
+                metric.min = summary["min"]
+            if summary["max"] > metric.max:
+                metric.max = summary["max"]
+
     def snapshot(self) -> dict:
         """Plain-dict view for manifests and JSON export."""
         return {

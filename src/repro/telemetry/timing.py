@@ -79,6 +79,27 @@ class SpanTimer:
                 stats = self.stats[path] = SpanStats()
             stats.record(dt)
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another timer's :meth:`snapshot` into this one.
+
+        Worker processes time the same span paths the parent would have
+        (``injection``, ``campaign/...``); merging keeps the aggregate
+        view meaningful after a parallel campaign.
+        """
+        for path, summary in snapshot.items():
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            stats = self.stats.get(path)
+            if stats is None:
+                stats = self.stats[path] = SpanStats()
+            stats.count += count
+            stats.total_s += summary["total_s"]
+            if summary["min_s"] < stats.min_s:
+                stats.min_s = summary["min_s"]
+            if summary["max_s"] > stats.max_s:
+                stats.max_s = summary["max_s"]
+
     def total(self, path: str) -> float:
         stats = self.stats.get(path)
         return stats.total_s if stats else 0.0

@@ -1,0 +1,157 @@
+"""Regression pins for the injector hot-path optimisations.
+
+Each optimisation replaced a simple reference implementation; these tests
+keep the optimised code byte-for-byte faithful to it:
+
+* mask-based ``_writes_escape_cta``   vs  the original per-byte set scans;
+* thread-sliced re-execution          vs  full-grid re-execution;
+* cached ``sample_register_file_sites`` vs  the original rescan loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FaultInjector, load_instance, random_campaign
+from repro.faults.model import RegisterFileSite
+
+from ..helpers import build_saxpy_instance
+
+
+def reference_writes_escape_cta(injector, faulty_log, cta) -> bool:
+    """The original set-based escape check, verbatim semantics."""
+    cta_write_bytes = []
+    for log in injector._cta_write_logs:
+        owned = set()
+        for address, raw in log:
+            owned.update(range(address, address + len(raw)))
+        cta_write_bytes.append(owned)
+    own = cta_write_bytes[cta]
+    others = [s for i, s in enumerate(cta_write_bytes) if i != cta]
+    for address, raw in faulty_log:
+        for byte in range(address, address + len(raw)):
+            if byte in own:
+                continue
+            if any(byte in other for other in others):
+                return True
+    return False
+
+
+class TestEscapeMask:
+    @pytest.mark.parametrize("key", ["2dconv.k1", "pathfinder.k1"])
+    def test_matches_set_reference_on_golden_logs(self, key):
+        """Every CTA's own golden log, plus every *other* CTA's log offset
+        into this CTA's decision, must classify identically."""
+        injector = FaultInjector(load_instance(key))
+        n_ctas = injector.instance.geometry.n_ctas
+        for cta in range(min(n_ctas, 4)):
+            for source in range(min(n_ctas, 4)):
+                log = injector._cta_write_logs[source][:32]
+                got = injector._writes_escape_cta(log, cta)
+                want = reference_writes_escape_cta(injector, log, cta)
+                assert got == want, (key, cta, source)
+
+    def test_matches_reference_on_synthetic_spans(self, conv2d_injector):
+        injector = conv2d_injector
+        lo, hi = injector.instance.initial_memory.allocation_span()
+        cases = [
+            [(lo, b"\x00" * 4)],                  # window start
+            [(hi - 4, b"\x00" * 4)],              # window end
+            [(lo - 64, b"\x00" * 16)],            # before the window
+            [(hi + 64, b"\x00" * 16)],            # past the window
+            [(lo - 8, b"\x00" * 16)],             # straddling the low edge
+            [(hi - 8, b"\x00" * 16)],             # straddling the high edge
+        ]
+        for log in cases:
+            got = injector._writes_escape_cta(log, 0)
+            want = reference_writes_escape_cta(injector, log, 0)
+            assert got == want, log
+
+    def test_fallback_decisions_pinned_end_to_end(self):
+        """Seed 2 contains a known write-escape; the optimised path must
+        take the full-re-run fallback exactly as often as before."""
+        injector = FaultInjector(load_instance("2dconv.k1"))
+        random_campaign(injector, 80, rng=2)
+        assert injector.fallback_count == 1
+
+
+class TestThreadSlicing:
+    @pytest.mark.parametrize("key", ["2dconv.k1", "k-means.k1", "gaussian.k126"])
+    def test_outcomes_match_cta_slicing(self, key):
+        """Thread-sliced and CTA-sliced classification agree everywhere —
+        including on gaussian.k126, where 35 of 36 CTAs are sliceable and
+        the last is not."""
+        sliced = FaultInjector(load_instance(key))
+        unsliced = FaultInjector(load_instance(key), thread_slicing=False)
+        assert any(sliced._cta_sliceable)
+        assert not any(unsliced._cta_sliceable)
+        rng = np.random.default_rng(13)
+        for site in sliced.space.sample(40, rng):
+            assert sliced.inject(site) == unsliced.inject(site), site
+        assert sliced.fallback_count == unsliced.fallback_count
+
+    def test_outcomes_match_full_rerun(self):
+        injector = FaultInjector(load_instance("2dconv.k1"))
+        rng = np.random.default_rng(17)
+        for site in injector.space.sample(25, rng):
+            assert injector.inject(site) == injector.inject_full(site), site
+
+    def test_shared_memory_kernels_never_slice(self, pathfinder_injector):
+        assert not any(pathfinder_injector._cta_sliceable)
+
+    def test_scratch_heap_repaired_between_injections(self):
+        """The reused scratch heap must equal the initial heap after every
+        injection, or later injections would see stale faulty bytes."""
+        injector = FaultInjector(build_saxpy_instance())
+        initial = injector.instance.initial_memory
+        rng = np.random.default_rng(3)
+        for site in injector.space.sample(30, rng):
+            injector.inject(site)
+            assert injector._scratch_memory._data == initial._data
+
+
+def reference_sample_register_file_sites(injector, n, rng):
+    """The original rejection loop, rescanning the trace prefix per draw."""
+    instructions = injector.instance.program.instructions
+    sites = []
+    n_threads = len(injector.traces)
+    while len(sites) < n:
+        thread = int(rng.integers(0, n_threads))
+        trace = injector.traces[thread]
+        if not trace:
+            continue
+        dyn_index = int(rng.integers(0, len(trace)))
+        written = set()
+        for pc, width in trace[:dyn_index]:
+            if width and instructions[pc].dest is not None:
+                written.add(instructions[pc].dest.name)
+        if not written:
+            continue
+        ordered = sorted(written)
+        reg = ordered[int(rng.integers(0, len(ordered)))]
+        bit = int(rng.integers(0, 32))
+        sites.append(RegisterFileSite(thread, dyn_index, reg, bit))
+    return sites
+
+
+class TestRegisterFileSampleCache:
+    @pytest.mark.parametrize("key", ["2dconv.k1", "pathfinder.k1"])
+    def test_matches_rescan_reference(self, key):
+        injector = FaultInjector(load_instance(key))
+        got = injector.sample_register_file_sites(60, np.random.default_rng(41))
+        want = reference_sample_register_file_sites(
+            injector, 60, np.random.default_rng(41)
+        )
+        assert got == want
+
+    def test_cache_reused_across_calls(self):
+        injector = FaultInjector(build_saxpy_instance())
+        injector.sample_register_file_sites(10, np.random.default_rng(1))
+        cached = dict(injector._rf_prefix_cache)
+        again = injector.sample_register_file_sites(10, np.random.default_rng(1))
+        for thread, entry in cached.items():
+            assert injector._rf_prefix_cache[thread] is entry
+        assert again == injector.sample_register_file_sites(
+            10, np.random.default_rng(1)
+        )

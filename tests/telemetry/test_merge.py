@@ -1,0 +1,107 @@
+"""Merging worker telemetry snapshots into a parent handle."""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    InjectionEvent,
+    MemorySink,
+    MetricsRegistry,
+    SpanTimer,
+    Telemetry,
+    event_to_dict,
+)
+
+
+class TestMetricsMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(3)
+        b.counter("x").inc(4)
+        b.counter("y").inc(1)
+        a.merge(b.snapshot())
+        assert a.counter("x").value == 7
+        assert a.counter("y").value == 1
+
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(5.0)
+        a.merge(b.snapshot())
+        assert a.gauge("g").value == 5.0
+
+    def test_histograms_combine_like_one_stream(self):
+        a, b, whole = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        for value in (0.1, 0.5):
+            a.histogram("h").observe(value)
+            whole.histogram("h").observe(value)
+        for value in (0.05, 0.9, 0.2):
+            b.histogram("h").observe(value)
+            whole.histogram("h").observe(value)
+        a.merge(b.snapshot())
+        assert a.histogram("h").summary() == whole.histogram("h").summary()
+
+    def test_empty_histogram_snapshot_is_noop(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h")  # created but never observed
+        a.merge(b.snapshot())
+        assert a.histogram("h").count == 0
+
+
+class TestSpanMerge:
+    def test_spans_combine_like_one_timer(self):
+        ticks = iter(range(100))
+        a = SpanTimer(clock=lambda: next(ticks))
+        b = SpanTimer(clock=lambda: next(ticks))
+        with a.span("injection"):
+            pass
+        with b.span("injection"):
+            with b.span("sim"):
+                pass
+        a.merge(b.snapshot())
+        assert a.stats["injection"].count == 2
+        assert "injection/sim" in a.stats
+
+    def test_min_max_combine(self):
+        from repro.telemetry.timing import SpanStats
+
+        a, b = SpanTimer(), SpanTimer()
+        for timer, dt in ((a, 1.0), (a, 3.0), (b, 0.5), (b, 9.0)):
+            timer.stats.setdefault("p", SpanStats()).record(dt)
+        a.merge(b.snapshot())
+        merged = a.stats["p"]
+        assert merged.count == 4
+        assert merged.min_s == 0.5
+        assert merged.max_s == 9.0
+        assert merged.total_s == 13.5
+
+
+class TestTelemetryAbsorb:
+    def test_absorb_reemits_events_and_merges_metrics(self):
+        worker = Telemetry(sink=MemorySink())
+        worker.count("injections.total", 3)
+        worker.observe("injection_s", 0.25)
+        worker.emit(
+            InjectionEvent(
+                1.0, thread=0, dyn_index=0, bit=0, model="value",
+                outcome="masked", fast_path=True, duration_s=0.25,
+            )
+        )
+        snapshot = {
+            "events": [event_to_dict(e) for e in worker.sink.events],
+            "metrics": worker.metrics.snapshot(),
+            "spans": worker.spans.snapshot(),
+        }
+        parent = Telemetry(sink=MemorySink())
+        parent.count("injections.total", 2)
+        parent.absorb(snapshot)
+        assert parent.metrics.counter("injections.total").value == 5
+        assert parent.metrics.histogram("injection_s").count == 1
+        events = parent.sink.events
+        assert len(events) == 1
+        assert isinstance(events[0], InjectionEvent)
+        assert events[0].outcome == "masked"
+
+    def test_absorb_empty_snapshot(self):
+        parent = Telemetry(sink=MemorySink())
+        parent.absorb({})
+        assert parent.sink.events == []

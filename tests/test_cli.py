@@ -77,7 +77,9 @@ def test_profile_with_full_instrumentation(tmp_path, capsys):
     manifest = load_manifest(manifest_path)
     assert manifest.kernel == "gaussian.k125"
     assert manifest.events_path == str(events_path)
-    assert manifest.config == {"loop_iters": 2, "bits": 4, "seed": 2018}
+    assert manifest.config == {
+        "loop_iters": 2, "bits": 4, "seed": 2018, "workers": 1,
+    }
     # The recorded profile matches the percentages printed to stdout.
     pct = manifest.profile["percentages"]
     assert f"masked={pct['masked']:.2f}%" in out
