@@ -14,6 +14,11 @@ Two cost profiles:
 ``REPRO_BENCH_WORKERS=N`` fans every campaign the harness drives over N
 worker processes (see :mod:`repro.parallel`); results are identical to
 serial runs, only the wall clock changes.
+
+``REPRO_BENCH_CHECKPOINT_INTERVAL=K`` enables checkpointed fast-forward
+injection (snapshot every K dynamic instructions; 0 = disabled) with
+``REPRO_BENCH_CHECKPOINT_BUDGET_MB`` bounding per-process snapshot memory
+— again bit-for-bit identical results, only faster deep injections.
 """
 
 from __future__ import annotations
@@ -38,6 +43,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+CHECKPOINT_INTERVAL = int(os.environ.get("REPRO_BENCH_CHECKPOINT_INTERVAL", "0"))
+CHECKPOINT_BUDGET_MB = float(
+    os.environ.get("REPRO_BENCH_CHECKPOINT_BUDGET_MB", "64")
+)
 
 
 def bench_executor():
@@ -75,7 +84,11 @@ _baselines: dict[tuple, CampaignResult] = {}
 
 def injector_for(key: str) -> FaultInjector:
     if key not in _injectors:
-        _injectors[key] = FaultInjector(load_instance(key))
+        _injectors[key] = FaultInjector(
+            load_instance(key),
+            checkpoint_interval=CHECKPOINT_INTERVAL,
+            checkpoint_budget_mb=CHECKPOINT_BUDGET_MB,
+        )
     return _injectors[key]
 
 
@@ -118,7 +131,13 @@ def emit(name: str, text: str) -> None:
     manifest = RunManifest.create(
         kernel="",
         command=f"bench:{name}",
-        config={**asdict(SETTINGS), "full": FULL, "workers": WORKERS},
+        config={
+            **asdict(SETTINGS),
+            "full": FULL,
+            "workers": WORKERS,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "checkpoint_budget_mb": CHECKPOINT_BUDGET_MB,
+        },
         seed=SETTINGS.seed,
     )
     manifest.write(RESULTS_DIR / f"{name}.manifest.json")

@@ -72,6 +72,22 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         help="fan injections over N worker processes (1 = serial; "
         "profiles are identical either way)",
     )
+    sub.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        metavar="K",
+        default=0,
+        help="snapshot golden state every K dynamic instructions and "
+        "fast-forward injections past their golden prefix (0 = disabled; "
+        "profiles are identical either way)",
+    )
+    sub.add_argument(
+        "--checkpoint-budget-mb",
+        type=float,
+        metavar="MB",
+        default=64.0,
+        help="LRU memory budget for checkpoint snapshots (per process)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -121,6 +137,14 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--bits", type=int, default=8)
     report.add_argument("--out", default=None, help="write to file instead of stdout")
     return parser
+
+
+def _checkpoint_kwargs(args) -> dict:
+    """Injector keyword arguments for the checkpoint flags."""
+    return {
+        "checkpoint_interval": args.checkpoint_interval,
+        "checkpoint_budget_mb": args.checkpoint_budget_mb,
+    }
 
 
 def _make_telemetry(args) -> Telemetry:
@@ -193,12 +217,16 @@ def cmd_profile(args) -> int:
                 "bits": args.bits,
                 "seed": args.seed,
                 "workers": args.workers,
+                "checkpoint_interval": args.checkpoint_interval,
+                "checkpoint_budget_mb": args.checkpoint_budget_mb,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
         )
     t0 = time.perf_counter()
-    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
+    injector = FaultInjector(
+        load_instance(args.kernel), telemetry=telemetry, **_checkpoint_kwargs(args)
+    )
     pruner = ProgressivePruner(
         num_loop_iters=args.loop_iters, n_bits=args.bits, seed=args.seed
     )
@@ -231,12 +259,16 @@ def cmd_baseline(args) -> int:
                 "seed": args.seed,
                 "runs": n,
                 "workers": args.workers,
+                "checkpoint_interval": args.checkpoint_interval,
+                "checkpoint_budget_mb": args.checkpoint_budget_mb,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
         )
     t0 = time.perf_counter()
-    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
+    injector = FaultInjector(
+        load_instance(args.kernel), telemetry=telemetry, **_checkpoint_kwargs(args)
+    )
     progress = _make_progress(args, label=f"{args.kernel} baseline")
     result = random_campaign(
         injector,
@@ -267,11 +299,15 @@ def cmd_stages(args) -> int:
                 "loop_iters": args.loop_iters,
                 "bits": args.bits,
                 "workers": args.workers,
+                "checkpoint_interval": args.checkpoint_interval,
+                "checkpoint_budget_mb": args.checkpoint_budget_mb,
             },
             events_path=args.telemetry_out,
         )
     t0 = time.perf_counter()
-    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
+    injector = FaultInjector(
+        load_instance(args.kernel), telemetry=telemetry, **_checkpoint_kwargs(args)
+    )
     pruner = ProgressivePruner(num_loop_iters=args.loop_iters, n_bits=args.bits)
     progress = _make_progress(args, label=f"{args.kernel} stages")
     space = pruner.prune(injector, progress=progress)
@@ -295,12 +331,20 @@ def cmd_metrics(args) -> int:
         manifest = RunManifest.create(
             kernel=args.kernel,
             command="metrics",
-            config={"runs": args.runs, "seed": args.seed, "workers": args.workers},
+            config={
+                "runs": args.runs,
+                "seed": args.seed,
+                "workers": args.workers,
+                "checkpoint_interval": args.checkpoint_interval,
+                "checkpoint_budget_mb": args.checkpoint_budget_mb,
+            },
             seed=args.seed,
             events_path=args.telemetry_out,
         )
     t0 = time.perf_counter()
-    injector = FaultInjector(load_instance(args.kernel), telemetry=telemetry)
+    injector = FaultInjector(
+        load_instance(args.kernel), telemetry=telemetry, **_checkpoint_kwargs(args)
+    )
     progress = _make_progress(args, label=f"{args.kernel} metrics")
     result = random_campaign(
         injector,

@@ -61,6 +61,7 @@ def run_campaign(
     total: int | None = None,
     keep_sites: bool = True,
     label: str = "explicit",
+    order_batch: int | None = None,
 ) -> CampaignResult:
     """Inject every site in ``sites``; weight outcomes if weights given.
 
@@ -73,6 +74,13 @@ def run_campaign(
             worker processes; ``None`` injects serially in-process.
             Outcomes stream back in site order either way, so the profile
             is identical for identical seeds.
+        order_batch: serial checkpoint-locality window (see
+            :class:`~repro.parallel.SerialExecutor`): sites are *executed*
+            sorted by ``(thread, dyn_index)`` within windows of this size
+            but *aggregated* in input order, so the profile is unchanged.
+            ``None`` auto-enables when the injector checkpoints; ``0``
+            forces pure streaming.  Ignored when ``executor`` is given
+            (workers order within their own chunks instead).
         progress: ``callable(done, total)`` (a
             :class:`~repro.telemetry.ProgressReporter` works directly),
             invoked after every injection.
@@ -106,7 +114,7 @@ def run_campaign(
     if executor is None:
         from ..parallel import SerialExecutor
 
-        executor = SerialExecutor()
+        executor = SerialExecutor(order_batch=order_batch)
     kept_sites: list[FaultSite] = []
     kept_outcomes: list[Outcome] = []
     profile = ResilienceProfile()

@@ -48,6 +48,13 @@ import numpy as np
 
 from ..errors import FaultInjectionError, HangDetected, MemoryFault
 from ..gpu import GPUSimulator, GlobalMemory
+from ..gpu.checkpoint import (
+    DEFAULT_BUDGET_MB,
+    CheckpointPlan,
+    CheckpointStore,
+    CTACheckpoint,
+    ThreadCheckpoint,
+)
 from ..gpu.isa import MemRef
 from ..kernels.registry import KernelInstance
 from ..telemetry import NULL_TELEMETRY, InjectionEvent, Telemetry
@@ -85,12 +92,24 @@ class FaultInjector:
         verify_golden: bool = True,
         telemetry: Telemetry | None = None,
         thread_slicing: bool = True,
+        checkpoint_interval: int = 0,
+        checkpoint_budget_mb: float = DEFAULT_BUDGET_MB,
     ) -> None:
         self.instance = instance
         self.hang_factor = hang_factor
         self.thread_slicing = thread_slicing  # the requested flag, as given
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._launcher = GPUSimulator(telemetry=self.telemetry)
+        # Checkpointed fast-forwarding: interval 0 disables the layer and
+        # every injection re-executes its full golden prefix (the
+        # reference behaviour all equivalence tests pin against).
+        self.checkpoint_interval = max(0, int(checkpoint_interval))
+        self.checkpoint_budget_mb = checkpoint_budget_mb
+        self.checkpoints: CheckpointStore | None = (
+            CheckpointStore(int(checkpoint_budget_mb * (1 << 20)))
+            if self.checkpoint_interval > 0
+            else None
+        )
         # Thread slicing is sound only for CTAs whose threads provably do
         # not communicate; the static half of that proof is "no shared
         # memory instructions at all".
@@ -115,6 +134,10 @@ class FaultInjector:
 
         self.traces = result.traces
         self.space = FaultSpace(self.traces)
+        #: Per-thread golden global-write logs (sliceable kernels only) —
+        #: the checkpoint layer replays prefixes of these onto the scratch
+        #: heap instead of re-executing the instructions that issued them.
+        self._thread_write_logs = result.thread_write_logs
         self._golden_memory = golden_memory
         self._golden_output = instance.output_bytes(golden_memory)
         self._cta_write_logs = result.cta_write_logs
@@ -260,10 +283,23 @@ class FaultInjector:
     def _run_spec_thread(
         self, thread: int, spec: InjectionSpec, label: str, cta: int
     ) -> Outcome | None:
-        """Re-execute only the injected thread; ``None`` = demote to CTA."""
+        """Re-execute only the injected thread; ``None`` = demote to CTA.
+
+        With checkpointing enabled, the deepest golden snapshot at or
+        below the fault's dynamic index is restored and only the suffix
+        executes: the thread's golden write prefix is replayed onto the
+        scratch heap beforehand, and prepended to the faulty log
+        afterwards so interference/escape/classification decisions are
+        byte-identical to a full-prefix run (the prefix's *reads* need no
+        replay — a sliceable CTA's golden reads provably never touch its
+        golden writes, so they cannot flip any check).
+        """
         memory = self._scratch_memory
         faulty_log: list[tuple[int, bytes]] = []
         read_log: list[tuple[int, int]] = []
+        resume, prefix, plan = self._thread_checkpoint_plan(thread, spec, faulty_log)
+        if prefix:
+            memory.apply_writes(prefix)
         memory.write_log = faulty_log
         memory.read_log = read_log
         crashed = hanged = False
@@ -277,6 +313,7 @@ class FaultInjector:
                 only_thread=thread,
                 injection=(thread, spec),
                 max_steps=self._cta_budget[cta],
+                checkpoint=plan,
             )
         except MemoryFault:
             crashed = True
@@ -285,11 +322,12 @@ class FaultInjector:
         finally:
             memory.write_log = None
             memory.read_log = None
-            memory.revert_writes(faulty_log, self.instance.initial_memory)
+            full_log = prefix + faulty_log if prefix else faulty_log
+            memory.revert_writes(full_log, self.instance.initial_memory)
         # Interference must be ruled out even for crash/hang outcomes: up
         # to the aborting access the thread's behaviour is only schedule-
         # independent if it never touched sibling-owned bytes.
-        if self._thread_run_interferes(thread, cta, faulty_log, read_log):
+        if self._thread_run_interferes(thread, cta, full_log, read_log):
             return None
         if crashed:
             return Outcome.CRASH
@@ -301,18 +339,58 @@ class FaultInjector:
                 # on a store that never issues has no effect.
                 return Outcome.MASKED
             raise FaultInjectionError(f"injection at {label} never fired")
-        if self._writes_escape_cta(faulty_log, cta):
+        if self._writes_escape_cta(full_log, cta):
             self.fallback_count += 1
             return self._run_spec_full(thread, spec, label)
-        return self._classify_patched(self._thread_patch(thread), faulty_log)
+        return self._classify_patched(self._thread_patch(thread), full_log)
+
+    def _thread_checkpoint_plan(
+        self, thread: int, spec: InjectionSpec, faulty_log: list
+    ) -> tuple[ThreadCheckpoint | None, list, CheckpointPlan | None]:
+        """Resolve (resume snapshot, golden write prefix, launch plan)."""
+        store = self.checkpoints
+        if store is None:
+            return None, [], None
+        resume = store.best_thread(thread, spec.dyn_index)
+        base = resume.write_count if resume is not None else 0
+        prefix = self._thread_write_logs[thread][:base] if base else []
+        interval = self.checkpoint_interval
+
+        def sink(dyn: int, pc: int, regs: dict) -> None:
+            if store.has_thread(thread, dyn):
+                return
+            store.put_thread(
+                thread,
+                ThreadCheckpoint.capture(dyn, pc, regs, base + len(faulty_log)),
+            )
+
+        plan = CheckpointPlan(
+            interval=interval, resume=resume, sink=sink, limit=spec.dyn_index
+        )
+        self._note_checkpoint_lookup(
+            "thread", resume.dyn_index if resume is not None else None
+        )
+        return resume, prefix, plan
 
     def _run_spec_cta(
         self, thread: int, spec: InjectionSpec, label: str, cta: int
     ) -> Outcome:
-        """Re-execute the owning CTA against the (scratch) initial heap."""
+        """Re-execute the owning CTA against the (scratch) initial heap.
+
+        With checkpointing enabled, the CTA resumes from the deepest
+        barrier-boundary snapshot in which the injected thread has not yet
+        reached the fault; the CTA's golden write-log prefix is replayed
+        onto the scratch heap first and prepended to the faulty log for
+        the escape check and classification, so results are byte-identical
+        to a full-prefix CTA replay.
+        """
         memory = self._scratch_memory
         faulty_log: list[tuple[int, bytes]] = []
+        resume, prefix, plan = self._cta_checkpoint_plan(cta, thread, spec, faulty_log)
+        if prefix:
+            memory.apply_writes(prefix)
         memory.write_log = faulty_log
+        full_log = faulty_log
         try:
             result = self._launcher.launch(
                 self.instance.program,
@@ -322,6 +400,7 @@ class FaultInjector:
                 only_cta=cta,
                 injection=(thread, spec),
                 max_steps=self._cta_budget[cta],
+                checkpoint=plan,
             )
         except MemoryFault:
             return Outcome.CRASH
@@ -329,16 +408,75 @@ class FaultInjector:
             return Outcome.HANG
         finally:
             memory.write_log = None
-            memory.revert_writes(faulty_log, self.instance.initial_memory)
+            full_log = prefix + faulty_log if prefix else faulty_log
+            memory.revert_writes(full_log, self.instance.initial_memory)
         if not result.injection_applied:
             if spec.model is FaultModel.STORE_ADDRESS:
                 return Outcome.MASKED
             raise FaultInjectionError(f"injection at {label} never fired")
 
-        if self._writes_escape_cta(faulty_log, cta):
+        if self._writes_escape_cta(full_log, cta):
             self.fallback_count += 1
             return self._run_spec_full(thread, spec, label)
-        return self._classify_patched(self._cta_patch(cta), faulty_log)
+        return self._classify_patched(self._cta_patch(cta), full_log)
+
+    def _cta_checkpoint_plan(
+        self, cta: int, thread: int, spec: InjectionSpec, faulty_log: list
+    ) -> tuple[CTACheckpoint | None, list, CheckpointPlan | None]:
+        """Resolve (resume snapshot, golden write prefix, launch plan).
+
+        The capture sink fires at barrier releases; it keeps the snapshot
+        cadence on the injected thread's ``checkpoint_interval`` grid and
+        only captures while that thread's injection is still pending —
+        once the flip fires the CTA state is no longer golden.
+        """
+        store = self.checkpoints
+        if store is None:
+            return None, [], None
+        slot = thread % self.instance.geometry.threads_per_cta
+        resume = store.best_cta(cta, slot, spec.dyn_index)
+        base = resume.write_count if resume is not None else 0
+        prefix = self._cta_write_logs[cta][:base] if base else []
+        interval = self.checkpoint_interval
+        resume_dyn = resume.thread_dyn[slot] if resume is not None else 0
+        next_capture = [(resume_dyn // interval + 1) * interval]
+
+        def sink(rounds: int, threads: list, shared) -> None:
+            ctx = threads[slot]
+            if ctx.injection is None:
+                return  # the flip already fired — state is faulty
+            if ctx.dyn_count < next_capture[0]:
+                return
+            next_capture[0] = (ctx.dyn_count // interval + 1) * interval
+            if store.has_cta(cta, rounds):
+                return
+            store.put_cta(
+                cta,
+                CTACheckpoint.capture(rounds, threads, shared, base + len(faulty_log)),
+            )
+
+        plan = CheckpointPlan(
+            interval=interval, resume=resume, sink=sink, limit=spec.dyn_index
+        )
+        self._note_checkpoint_lookup(
+            "cta", resume.instructions if resume is not None else None
+        )
+        return resume, prefix, plan
+
+    def _note_checkpoint_lookup(self, kind: str, skipped: int | None) -> None:
+        """Hit/miss/bytes telemetry for one checkpoint-store lookup."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        if skipped is None:
+            telemetry.count(f"checkpoint.{kind}_misses")
+        else:
+            telemetry.count(f"checkpoint.{kind}_hits")
+            telemetry.count("checkpoint.skipped_instructions", skipped)
+        store = self.checkpoints
+        telemetry.set_gauge("checkpoint.bytes", store.nbytes)
+        telemetry.set_gauge("checkpoint.entries", len(store))
+        telemetry.set_gauge("checkpoint.evicted", store.evicted)
 
     def inject_full(self, site: FaultSite) -> Outcome:
         """Reference slow path: re-execute the entire grid."""

@@ -6,6 +6,13 @@ per-CTA write logs, and deterministic outputs.
 """
 
 from .builder import KernelBuilder
+from .checkpoint import (
+    DEFAULT_BUDGET_MB,
+    CheckpointPlan,
+    CheckpointStore,
+    CTACheckpoint,
+    ThreadCheckpoint,
+)
 from .instruction import Guard, Instruction
 from .isa import DataType, Imm, MemRef, Param, Reg, Special
 from .memory import GLOBAL_BASE, GlobalMemory, ParamMemory, SharedMemory
@@ -16,6 +23,10 @@ from .simulator import DEFAULT_MAX_STEPS, GPUSimulator, LaunchGeometry, LaunchRe
 from .tracing import ThreadTrace, TraceSummary, static_key_sequence, summarize
 
 __all__ = [
+    "CTACheckpoint",
+    "CheckpointPlan",
+    "CheckpointStore",
+    "DEFAULT_BUDGET_MB",
     "DEFAULT_MAX_STEPS",
     "DataType",
     "GLOBAL_BASE",
@@ -35,6 +46,7 @@ __all__ = [
     "RegisterFile",
     "SharedMemory",
     "Special",
+    "ThreadCheckpoint",
     "ThreadTrace",
     "TraceSummary",
     "flip_bit",

@@ -22,6 +22,8 @@ from .thread import ThreadContext, ThreadState
 def run_cta(
     threads: list[ThreadContext],
     thread_write_logs: list[list[tuple[int, bytes]]] | None = None,
+    barrier_hook=None,
+    barrier_rounds_start: int = 0,
 ) -> int:
     """Drive every thread of one CTA to completion.
 
@@ -34,8 +36,15 @@ def run_cta(
     writes are additionally attributed to the thread that issued them by
     swapping the heap's write log around each run-to-barrier segment; the
     CTA-level log keeps its schedule order.
+
+    ``barrier_hook(barrier_rounds, threads)`` fires right after each
+    barrier release — the only points where thread states are mutually
+    consistent and the schedule is resumable, which is what CTA-level
+    checkpointing captures.  ``barrier_rounds_start`` seeds the round
+    counter when the CTA resumes from such a checkpoint, so round indices
+    (and therefore checkpoint keys) match an un-resumed run.
     """
-    barrier_rounds = 0
+    barrier_rounds = barrier_rounds_start
     heap = threads[0].global_mem if threads else None
     while True:
         progressed = False
@@ -59,6 +68,8 @@ def run_cta(
             barrier_rounds += 1
             for thread in waiting:
                 thread.state = ThreadState.RUNNING
+            if barrier_hook is not None:
+                barrier_hook(barrier_rounds, threads)
             continue
         if all(t.state is ThreadState.EXITED for t in threads):
             return barrier_rounds

@@ -168,6 +168,16 @@ class SharedMemory:
     def __init__(self, nbytes: int) -> None:
         self._data = bytearray(nbytes)
 
+    def snapshot_bytes(self) -> bytes:
+        """The full scratchpad image (CTA-checkpoint capture)."""
+        return bytes(self._data)
+
+    def restore_bytes(self, raw: bytes) -> None:
+        """Overwrite the scratchpad with a captured image."""
+        if len(raw) != len(self._data):
+            raise MemoryFault("shared", 0, len(raw))
+        self._data[:] = raw
+
     def load(self, address: int, dtype: DataType) -> int | float:
         size = dtype.width // 8
         if address < 0 or address + size > len(self._data):

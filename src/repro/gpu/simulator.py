@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import FaultInjectionError, HangDetected, MemoryFault, SimulatorError
 from ..telemetry import NULL_TELEMETRY, SimRunEvent, Telemetry
+from .checkpoint import CheckpointPlan, CTACheckpoint, ThreadCheckpoint
 from .cta import run_cta
 from .memory import GlobalMemory, ParamMemory, SharedMemory
 from .program import Program
@@ -135,6 +136,7 @@ class GPUSimulator:
         only_thread: int | None = None,
         injection: tuple | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
+        checkpoint: CheckpointPlan | None = None,
     ) -> LaunchResult:
         """Run ``program`` over ``geometry``.
 
@@ -154,6 +156,11 @@ class GPUSimulator:
                 InjectionSpec)`` for the extended fault models.
             max_steps: per-thread dynamic-instruction budget; exceeded →
                 :class:`~repro.errors.HangDetected` propagates to the caller.
+            checkpoint: a :class:`~repro.gpu.checkpoint.CheckpointPlan` for
+                sliced runs — restore golden state before executing and/or
+                capture snapshots along the golden prefix.  The caller owns
+                the heap contract: a resumed run's heap must already hold
+                the golden write prefix up to the snapshot.
         """
         if len(param_bytes) != program.param_bytes:
             raise SimulatorError(
@@ -183,6 +190,8 @@ class GPUSimulator:
             ctas = range(geometry.n_ctas) if only_cta is None else (only_cta,)
         if only_cta is not None and not 0 <= only_cta < geometry.n_ctas:
             raise SimulatorError(f"CTA {only_cta} outside grid")
+        if checkpoint is not None and only_thread is None and only_cta is None:
+            raise SimulatorError("checkpoint plans require a sliced run")
 
         traces: list[ThreadTrace] | None = None
         trace_map: dict[int, ThreadTrace] = {}
@@ -228,6 +237,40 @@ class GPUSimulator:
                             injection=thread_injection,
                         )
                     )
+                barrier_hook = None
+                rounds_start = 0
+                skipped = 0
+                if checkpoint is not None:
+                    resume = checkpoint.resume
+                    if only_thread is not None:
+                        if resume is not None:
+                            if not isinstance(resume, ThreadCheckpoint):
+                                raise SimulatorError(
+                                    "thread-sliced runs resume from ThreadCheckpoint"
+                                )
+                            threads[0].resume_from(resume)
+                            skipped = resume.dyn_index
+                        if checkpoint.sink is not None and checkpoint.interval > 0:
+                            threads[0].plan_checkpoints(
+                                checkpoint.interval, checkpoint.limit, checkpoint.sink
+                            )
+                    else:
+                        if resume is not None:
+                            if not isinstance(resume, CTACheckpoint):
+                                raise SimulatorError(
+                                    "CTA-sliced runs resume from CTACheckpoint"
+                                )
+                            resume.restore(threads, shared)
+                            rounds_start = resume.barrier_rounds
+                            skipped = resume.instructions
+                        if checkpoint.sink is not None:
+
+                            def barrier_hook(
+                                rounds, cta_threads,
+                                _sink=checkpoint.sink, _shared=shared,
+                            ):
+                                _sink(rounds, cta_threads, _shared)
+
                 caller_write_log = heap.write_log
                 caller_read_log = heap.read_log
                 if write_logs is not None:
@@ -240,13 +283,21 @@ class GPUSimulator:
                     else None
                 )
                 try:
-                    barrier_rounds += run_cta(threads, segment_logs)
+                    barrier_rounds += run_cta(
+                        threads,
+                        segment_logs,
+                        barrier_hook=barrier_hook,
+                        barrier_rounds_start=rounds_start,
+                    )
                 finally:
                     heap.write_log = caller_write_log if write_logs is None else None
                     if read_logs is not None:
                         heap.read_log = caller_read_log
                     for thread in threads:
                         instructions += thread.dyn_count
+                    # A resumed slice reports only the instructions it
+                    # actually executed, not the skipped golden prefix.
+                    instructions -= skipped
                 for slot, thread in zip(slots, threads):
                     if record_traces:
                         trace_map[cta * tpc + slot] = thread.trace  # type: ignore[assignment]

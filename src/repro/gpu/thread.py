@@ -66,6 +66,10 @@ class ThreadContext:
         "global_mem",
         "shared_mem",
         "param_mem",
+        "cp_every",
+        "cp_limit",
+        "cp_next",
+        "cp_sink",
     )
 
     def __init__(
@@ -91,6 +95,35 @@ class ThreadContext:
         self.global_mem = global_mem
         self.shared_mem = shared_mem
         self.param_mem = param_mem
+        self.cp_every = 0
+        self.cp_limit = -1
+        self.cp_next = -1
+        self.cp_sink = None
+
+    # ----------------------------------------------------------- checkpoint
+
+    def resume_from(self, checkpoint) -> None:
+        """Restore golden architectural state captured along this thread.
+
+        ``run_until_block`` then continues at dynamic index
+        ``checkpoint.dyn_index`` exactly as if the prefix had executed;
+        the caller is responsible for the heap (the thread's golden write
+        prefix must already be applied).
+        """
+        checkpoint.restore(self)
+
+    def plan_checkpoints(self, every: int, limit: int, sink) -> None:
+        """Capture ``sink(dyn, pc, regs)`` every ``every`` dynamic
+        instructions, on the absolute dyn-index grid, up to ``limit``
+        (inclusive) — the last dynamic index still untouched by a pending
+        injection.  Captures happen at the loop head, before the
+        instruction at ``dyn`` issues and before any register-file flip.
+        """
+        self.cp_every = every
+        self.cp_limit = limit
+        self.cp_sink = sink
+        nxt = (self.dyn_count // every + 1) * every
+        self.cp_next = nxt if nxt <= limit else -1
 
     # ------------------------------------------------------------------ run
 
@@ -125,6 +158,10 @@ class ThreadContext:
         consumed = False
         pc = self.pc
         dyn = self.dyn_count
+        cp_next = self.cp_next
+        cp_sink = self.cp_sink
+        cp_every = self.cp_every
+        cp_limit = self.cp_limit
 
         try:
             while True:
@@ -135,6 +172,14 @@ class ThreadContext:
                     raise HangDetected(
                         f"thread exceeded {max_steps} dynamic instructions"
                     )
+                if dyn == cp_next:
+                    # Checkpoint capture: state here is golden — the
+                    # instruction at ``dyn`` has not issued and any
+                    # register-file flip below has not fired.
+                    cp_sink(dyn, pc, regs)
+                    cp_next += cp_every
+                    if cp_next > cp_limit:
+                        cp_next = -1
                 (
                     op, dtype, dest_name, dest_is_pred, width,
                     srcs, guard, target, cmp, executor,
@@ -255,6 +300,7 @@ class ThreadContext:
         finally:
             self.pc = pc
             self.dyn_count = dyn
+            self.cp_next = cp_next
             if consumed:
                 self.injection = None
 

@@ -46,11 +46,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> parallel)
 #: that a pool stays busy near a campaign's tail.
 DEFAULT_CHUNK_SIZE = 32
 
+#: Default serial ordering-batch size when the injector checkpoints: sites
+#: are buffered in windows of this many, *executed* sorted by
+#: ``(thread, dyn_index)`` so consecutive injections share warm snapshots,
+#: and *emitted* in original order so profiles stay byte-identical.
+DEFAULT_ORDER_BATCH = 64
+
+
+def _ordered_outcomes(
+    injector: "FaultInjector", sites: list["FaultSite"]
+) -> list["Outcome"]:
+    """Classify ``sites`` sorted by ``(thread, dyn_index)``; return them
+    in original order.
+
+    Sorting maximises checkpoint locality (each deeper site of a thread
+    resumes from snapshots its shallower predecessors just stored), and is
+    outcome-safe: injections share no mutable state beyond the checkpoint
+    store, which holds only golden snapshots, so per-site outcomes are
+    independent of execution order.
+    """
+    order = sorted(
+        range(len(sites)), key=lambda i: (sites[i].thread, sites[i].dyn_index)
+    )
+    outcomes: list = [None] * len(sites)
+    for i in order:
+        outcomes[i] = injector.inject(sites[i])
+    return outcomes
+
 
 class SerialExecutor:
-    """The in-process reference executor: inject sites one by one."""
+    """The in-process reference executor: inject sites one by one.
+
+    ``order_batch`` controls the checkpoint-locality ordering stage:
+    ``None`` (the default) auto-enables :data:`DEFAULT_ORDER_BATCH`-site
+    windows when the injector has a checkpoint store and stays fully
+    streaming otherwise; ``0`` disables ordering; any positive value sets
+    the window size explicitly.  Outcomes always stream back in exact
+    input order.
+    """
 
     workers = 1
+
+    def __init__(self, order_batch: int | None = None) -> None:
+        if order_batch is not None and order_batch < 0:
+            raise ValueError("order_batch must be >= 0")
+        self.order_batch = order_batch
 
     def imap(
         self,
@@ -58,8 +98,31 @@ class SerialExecutor:
         pairs: Iterable[tuple["FaultSite", float]],
         telemetry: Telemetry | None = None,
     ) -> Iterator[tuple["FaultSite", float, "Outcome"]]:
-        for site, weight in pairs:
-            yield site, weight, injector.inject(site)
+        batch = self.order_batch
+        if batch is None:
+            batch = (
+                DEFAULT_ORDER_BATCH
+                if getattr(injector, "checkpoints", None) is not None
+                else 0
+            )
+        if batch <= 1:
+            for site, weight in pairs:
+                yield site, weight, injector.inject(site)
+            return
+        window: list[tuple] = []
+        for pair in pairs:
+            window.append(pair)
+            if len(window) >= batch:
+                yield from self._drain(injector, window)
+                window = []
+        if window:
+            yield from self._drain(injector, window)
+
+    @staticmethod
+    def _drain(injector, window):
+        outcomes = _ordered_outcomes(injector, [site for site, _w in window])
+        for (site, weight), outcome in zip(window, outcomes):
+            yield site, weight, outcome
 
 
 # ----------------------------------------------------------- worker side
@@ -84,6 +147,8 @@ def _build_payload(injector: "FaultInjector") -> dict | None:
         "hang_factor": injector.hang_factor,
         "thread_slicing": injector.thread_slicing,
         "instrumented": injector.telemetry.enabled,
+        "checkpoint_interval": injector.checkpoint_interval,
+        "checkpoint_budget_mb": injector.checkpoint_budget_mb,
     }
     spec = injector.instance.spec
     if spec is not None:
@@ -120,6 +185,8 @@ def _init_worker(payload: dict) -> None:
         verify_golden=False,  # the parent already verified this instance
         telemetry=telemetry,
         thread_slicing=payload["thread_slicing"],
+        checkpoint_interval=payload.get("checkpoint_interval", 0),
+        checkpoint_budget_mb=payload.get("checkpoint_budget_mb", 64.0),
     )
     _WORKER_TELEMETRY = telemetry
 
@@ -129,7 +196,13 @@ def _run_chunk(sites: list["FaultSite"]) -> tuple[list[str], int, dict | None]:
     injector = _WORKER_INJECTOR
     assert injector is not None, "worker initializer did not run"
     fallbacks_before = injector.fallback_count
-    outcomes = [injector.inject(site).value for site in sites]
+    if injector.checkpoints is not None:
+        # Execute the chunk in (thread, dyn_index) order for checkpoint
+        # locality; the returned outcome list stays in input order, so the
+        # parent's in-order drain (and therefore the profile) is unchanged.
+        outcomes = [o.value for o in _ordered_outcomes(injector, sites)]
+    else:
+        outcomes = [injector.inject(site).value for site in sites]
     fallback_delta = injector.fallback_count - fallbacks_before
     telemetry = _WORKER_TELEMETRY
     snapshot = None
