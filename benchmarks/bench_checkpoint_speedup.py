@@ -73,7 +73,7 @@ def run_comparison() -> str:
     best_deep_speedup = 0.0
     for key in KEYS:
         rng = np.random.default_rng(2018)
-        base = FaultInjector(load_instance(key))
+        base = FaultInjector(load_instance(key), checkpoint_interval=0)
         ck = FaultInjector(load_instance(key), checkpoint_interval=INTERVAL)
         buckets = _tertile_sites(base, rng)
         base_ms, base_out = _time_tertiles(base, buckets)

@@ -15,10 +15,16 @@ Two cost profiles:
 worker processes (see :mod:`repro.parallel`); results are identical to
 serial runs, only the wall clock changes.
 
-``REPRO_BENCH_CHECKPOINT_INTERVAL=K`` enables checkpointed fast-forward
-injection (snapshot every K dynamic instructions; 0 = disabled) with
+``REPRO_BENCH_CHECKPOINT_INTERVAL=K`` sets the checkpointed fast-forward
+interval (snapshot every K dynamic instructions; 0 = disabled; ``auto`` —
+the default — derives K per kernel from trace depth) with
 ``REPRO_BENCH_CHECKPOINT_BUDGET_MB`` bounding per-process snapshot memory
 — again bit-for-bit identical results, only faster deep injections.
+
+``REPRO_BENCH_BACKEND={interpreter,compiled}`` selects the execution
+backend every harness-built injector uses (identical outcomes; the
+compiled closure-chain backend is faster — see
+``bench_compiled_backend.py``).
 """
 
 from __future__ import annotations
@@ -43,10 +49,15 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
-CHECKPOINT_INTERVAL = int(os.environ.get("REPRO_BENCH_CHECKPOINT_INTERVAL", "0"))
+CHECKPOINT_INTERVAL: int | str = os.environ.get(
+    "REPRO_BENCH_CHECKPOINT_INTERVAL", "auto"
+)
+if CHECKPOINT_INTERVAL != "auto":
+    CHECKPOINT_INTERVAL = int(CHECKPOINT_INTERVAL)
 CHECKPOINT_BUDGET_MB = float(
     os.environ.get("REPRO_BENCH_CHECKPOINT_BUDGET_MB", "64")
 )
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "interpreter")
 
 
 def bench_executor():
@@ -88,6 +99,7 @@ def injector_for(key: str) -> FaultInjector:
             load_instance(key),
             checkpoint_interval=CHECKPOINT_INTERVAL,
             checkpoint_budget_mb=CHECKPOINT_BUDGET_MB,
+            backend=BACKEND,
         )
     return _injectors[key]
 
@@ -137,6 +149,7 @@ def emit(name: str, text: str) -> None:
             "workers": WORKERS,
             "checkpoint_interval": CHECKPOINT_INTERVAL,
             "checkpoint_budget_mb": CHECKPOINT_BUDGET_MB,
+            "backend": BACKEND,
         },
         seed=SETTINGS.seed,
     )

@@ -34,6 +34,7 @@ from .errors import (
 )
 from .faults import (
     FaultInjector,
+    GoldenState,
     FaultSite,
     FaultSpace,
     Outcome,
@@ -42,6 +43,7 @@ from .faults import (
     random_campaign,
     run_campaign,
 )
+from .gpu import BACKENDS
 from .kernels import KernelInstance, KernelSpec, all_kernels, get_kernel, load_instance
 from .parallel import ParallelCampaignRunner, SerialExecutor, resolve_executor
 from .pruning import ProgressivePruner, PrunedSpace
@@ -56,10 +58,12 @@ from .telemetry import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "FaultInjectionError",
     "FaultInjector",
     "FaultSite",
     "FaultSpace",
+    "GoldenState",
     "HangDetected",
     "InvalidProgram",
     "KernelAuthoringError",

@@ -28,6 +28,7 @@ import sys
 import time
 
 from . import (
+    BACKENDS,
     FaultInjector,
     ProgressivePruner,
     all_kernels,
@@ -74,12 +75,12 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--checkpoint-interval",
-        type=int,
         metavar="K",
-        default=0,
+        default="auto",
         help="snapshot golden state every K dynamic instructions and "
-        "fast-forward injections past their golden prefix (0 = disabled; "
-        "profiles are identical either way)",
+        "fast-forward injections past their golden prefix (0 = disabled, "
+        "'auto' = derive per kernel from trace depth; profiles are "
+        "identical either way)",
     )
     sub.add_argument(
         "--checkpoint-budget-mb",
@@ -87,6 +88,13 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         metavar="MB",
         default=64.0,
         help="LRU memory budget for checkpoint snapshots (per process)",
+    )
+    sub.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="interpreter",
+        help="execution backend: the reference interpreter or the "
+        "compiled closure-chain backend (identical outcomes, faster)",
     )
 
 
@@ -140,10 +148,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _checkpoint_kwargs(args) -> dict:
-    """Injector keyword arguments for the checkpoint flags."""
+    """Injector keyword arguments for the checkpoint/backend flags."""
+    interval = args.checkpoint_interval
+    if interval != "auto":
+        interval = int(interval)
     return {
-        "checkpoint_interval": args.checkpoint_interval,
+        "checkpoint_interval": interval,
         "checkpoint_budget_mb": args.checkpoint_budget_mb,
+        "backend": args.backend,
     }
 
 
@@ -219,6 +231,7 @@ def cmd_profile(args) -> int:
                 "workers": args.workers,
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
+                "backend": args.backend,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -261,6 +274,7 @@ def cmd_baseline(args) -> int:
                 "workers": args.workers,
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
+                "backend": args.backend,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -301,6 +315,7 @@ def cmd_stages(args) -> int:
                 "workers": args.workers,
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
+                "backend": args.backend,
             },
             events_path=args.telemetry_out,
         )
@@ -337,6 +352,7 @@ def cmd_metrics(args) -> int:
                 "workers": args.workers,
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
+                "backend": args.backend,
             },
             seed=args.seed,
             events_path=args.telemetry_out,

@@ -1,7 +1,7 @@
 """Fault-injection framework (single-bit flips in destination registers)."""
 
 from .campaign import CampaignResult, exhaustive_campaign, random_campaign, run_campaign
-from .injector import ADDRESS_BITS, DEFAULT_HANG_FACTOR, FaultInjector
+from .injector import ADDRESS_BITS, DEFAULT_HANG_FACTOR, FaultInjector, GoldenState
 from .model import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
 from .outcome import CATEGORIES, Outcome, ResilienceProfile
 from .persistence import load_campaign, save_campaign
@@ -17,6 +17,7 @@ __all__ = [
     "FaultSite",
     "FaultModel",
     "FaultSpace",
+    "GoldenState",
     "InjectionRecord",
     "InjectionSpec",
     "RegisterFileSite",

@@ -46,6 +46,8 @@ import time
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from ..errors import FaultInjectionError, HangDetected, MemoryFault
 from ..gpu import GPUSimulator, GlobalMemory
 from ..gpu.checkpoint import (
@@ -54,6 +56,7 @@ from ..gpu.checkpoint import (
     CheckpointStore,
     CTACheckpoint,
     ThreadCheckpoint,
+    derive_checkpoint_interval,
 )
 from ..gpu.isa import MemRef
 from ..kernels.registry import KernelInstance
@@ -82,6 +85,25 @@ def _program_uses_shared(program) -> bool:
     )
 
 
+@dataclass
+class GoldenState:
+    """Pickled golden-run artifacts for worker handoff.
+
+    A :class:`FaultInjector` built with ``golden=`` skips the golden
+    launch entirely: the final heap is rebuilt by replaying the CTA write
+    logs (exact, because CTAs execute sequentially and cannot
+    communicate), and traces/logs are adopted as-is.  Everything here is
+    plain picklable data, so a campaign coordinator captures golden state
+    once and ships it to every pool worker instead of each worker paying
+    a full traced-and-logged run.
+    """
+
+    traces: list
+    cta_write_logs: list
+    cta_read_logs: list | None
+    thread_write_logs: list | None
+
+
 class FaultInjector:
     """Golden state plus the injection entry points for one kernel."""
 
@@ -92,24 +114,18 @@ class FaultInjector:
         verify_golden: bool = True,
         telemetry: Telemetry | None = None,
         thread_slicing: bool = True,
-        checkpoint_interval: int = 0,
+        checkpoint_interval: int | str = "auto",
         checkpoint_budget_mb: float = DEFAULT_BUDGET_MB,
+        backend: str = "interpreter",
+        golden: GoldenState | None = None,
     ) -> None:
         self.instance = instance
         self.hang_factor = hang_factor
         self.thread_slicing = thread_slicing  # the requested flag, as given
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._launcher = GPUSimulator(telemetry=self.telemetry)
-        # Checkpointed fast-forwarding: interval 0 disables the layer and
-        # every injection re-executes its full golden prefix (the
-        # reference behaviour all equivalence tests pin against).
-        self.checkpoint_interval = max(0, int(checkpoint_interval))
+        self.backend = backend
+        self._launcher = GPUSimulator(telemetry=self.telemetry, backend=backend)
         self.checkpoint_budget_mb = checkpoint_budget_mb
-        self.checkpoints: CheckpointStore | None = (
-            CheckpointStore(int(checkpoint_budget_mb * (1 << 20)))
-            if self.checkpoint_interval > 0
-            else None
-        )
         # Thread slicing is sound only for CTAs whose threads provably do
         # not communicate; the static half of that proof is "no shared
         # memory instructions at all".
@@ -117,22 +133,49 @@ class FaultInjector:
             instance.program
         )
 
-        with self.telemetry.span("golden-run"):
-            golden_memory = instance.golden_memory()
-            result = self._launcher.launch(
-                instance.program,
-                instance.geometry,
-                instance.param_bytes,
-                memory=golden_memory,
-                record_traces=True,
-                record_write_logs=True,
-                record_read_logs=self._slicing_enabled,
-                record_thread_write_logs=self._slicing_enabled,
-            )
-            if verify_golden:
-                instance.verify_reference(golden_memory)
+        if golden is not None:
+            # Worker handoff: adopt shipped golden artifacts and rebuild
+            # the final heap from the CTA write logs — no golden launch.
+            if self._slicing_enabled and golden.cta_read_logs is None:
+                self._slicing_enabled = False  # shipped state lacks read logs
+            with self.telemetry.span("golden-restore"):
+                golden_memory = instance.golden_memory()
+                for log in golden.cta_write_logs:
+                    golden_memory.apply_writes(log)
+            result = golden
+            self.traces = golden.traces
+        else:
+            with self.telemetry.span("golden-run"):
+                golden_memory = instance.golden_memory()
+                result = self._launcher.launch(
+                    instance.program,
+                    instance.geometry,
+                    instance.param_bytes,
+                    memory=golden_memory,
+                    record_traces=True,
+                    record_write_logs=True,
+                    record_read_logs=self._slicing_enabled,
+                    record_thread_write_logs=self._slicing_enabled,
+                )
+                if verify_golden:
+                    instance.verify_reference(golden_memory)
+            self.traces = result.traces
 
-        self.traces = result.traces
+        # Checkpointed fast-forwarding: interval 0 disables the layer and
+        # every injection re-executes its full golden prefix (the
+        # reference behaviour all equivalence tests pin against).
+        # ``"auto"`` derives a per-kernel interval from the trace-length
+        # tertiles — shallow kernels skip the layer entirely.
+        if checkpoint_interval == "auto":
+            self.checkpoint_interval = derive_checkpoint_interval(self.traces)
+        else:
+            self.checkpoint_interval = max(0, int(checkpoint_interval))
+        self.checkpoints: CheckpointStore | None = (
+            CheckpointStore(int(checkpoint_budget_mb * (1 << 20)))
+            if self.checkpoint_interval > 0
+            else None
+        )
+
         self.space = FaultSpace(self.traces)
         #: Per-thread golden global-write logs (sliceable kernels only) —
         #: the checkpoint layer replays prefixes of these onto the scratch
@@ -141,6 +184,7 @@ class FaultInjector:
         self._golden_memory = golden_memory
         self._golden_output = instance.output_bytes(golden_memory)
         self._cta_write_logs = result.cta_write_logs
+        self._cta_read_logs = result.cta_read_logs
         tpc = instance.geometry.threads_per_cta
         self._cta_budget = [
             self.hang_factor
@@ -160,6 +204,20 @@ class FaultInjector:
         self._rf_prefix_cache: dict[int, tuple[list[int], list[tuple[str, ...]]]] = {}
 
     # --------------------------------------------------- golden-state index
+
+    def golden_state(self) -> GoldenState:
+        """Picklable golden-run artifacts for :class:`GoldenState` handoff.
+
+        Everything returned is immutable-in-practice golden data; shipping
+        it to a pool worker lets that worker's injector skip the golden
+        launch entirely (see ``repro.parallel``).
+        """
+        return GoldenState(
+            traces=self.traces,
+            cta_write_logs=self._cta_write_logs,
+            cta_read_logs=self._cta_read_logs,
+            thread_write_logs=self._thread_write_logs,
+        )
 
     def _build_ownership_masks(self, result) -> None:
         """Byte-ownership masks over the allocated heap window.

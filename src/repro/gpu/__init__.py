@@ -8,26 +8,41 @@ per-CTA write logs, and deterministic outputs.
 from .builder import KernelBuilder
 from .checkpoint import (
     DEFAULT_BUDGET_MB,
+    MIN_AUTO_DEPTH,
     CheckpointPlan,
     CheckpointStore,
     CTACheckpoint,
     ThreadCheckpoint,
+    derive_checkpoint_interval,
 )
+from .compiler import BoundChain, CompiledProgram, compile_program
 from .instruction import Guard, Instruction
 from .isa import DataType, Imm, MemRef, Param, Reg, Special
 from .memory import GLOBAL_BASE, GlobalMemory, ParamMemory, SharedMemory
 from .packing import pack_params
 from .program import Program
 from .registers import RegisterFile, flip_bit
-from .simulator import DEFAULT_MAX_STEPS, GPUSimulator, LaunchGeometry, LaunchResult
+from .simulator import (
+    BACKENDS,
+    DEFAULT_MAX_STEPS,
+    GPUSimulator,
+    LaunchGeometry,
+    LaunchResult,
+)
 from .tracing import ThreadTrace, TraceSummary, static_key_sequence, summarize
 
 __all__ = [
+    "BACKENDS",
+    "BoundChain",
     "CTACheckpoint",
     "CheckpointPlan",
     "CheckpointStore",
+    "CompiledProgram",
     "DEFAULT_BUDGET_MB",
     "DEFAULT_MAX_STEPS",
+    "MIN_AUTO_DEPTH",
+    "compile_program",
+    "derive_checkpoint_interval",
     "DataType",
     "GLOBAL_BASE",
     "GPUSimulator",

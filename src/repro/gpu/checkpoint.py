@@ -43,6 +43,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (thread -> checkpoint
 #: Default snapshot-memory budget (``--checkpoint-budget-mb``).
 DEFAULT_BUDGET_MB = 64.0
 
+#: Kernels whose deep tertile is shallower than this skip checkpointing:
+#: measured on the built-in kernels, snapshot capture overhead only pays
+#: for itself once the skippable golden prefix is a few hundred
+#: instructions deep (k-means/hotspot/2dconv see no win; pathfinder does).
+MIN_AUTO_DEPTH = 192
+
+
+def derive_checkpoint_interval(traces) -> int:
+    """Per-kernel default ``checkpoint_interval`` from trace-length tertiles.
+
+    The revenue of a snapshot is the golden prefix it lets deep faults
+    skip, so the decision statistic is the *deep tertile* (the 67th
+    percentile of non-empty trace lengths): shallow kernels return 0
+    (layer disabled), deep kernels get an interval of roughly one
+    sixteenth of the deep-tertile depth, rounded up to a power of two and
+    floored at 16 — dense enough that deep faults resume near their
+    strike point, coarse enough that capture stays a few percent of run
+    time.  An explicit ``checkpoint_interval`` always wins over this.
+    """
+    lengths = sorted(len(t) for t in traces if t)
+    if not lengths:
+        return 0
+    deep = lengths[min(len(lengths) - 1, (2 * len(lengths)) // 3)]
+    if deep < MIN_AUTO_DEPTH:
+        return 0
+    raw = max(16, deep // 16)
+    interval = 1
+    while interval < raw:
+        interval <<= 1
+    return interval
+
 # Rough CPython costs for budget accounting: a register entry is a short
 # interned key plus one boxed int/float; a snapshot adds dict + dataclass
 # overhead.  Estimates only — the budget bounds order of magnitude, not

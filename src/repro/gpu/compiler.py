@@ -1,0 +1,858 @@
+"""Program specialisation into closure chains (the compiled backend).
+
+The interpreter in :mod:`repro.gpu.thread` pays a fixed CPython toll per
+dynamic instruction: a 10-field decode-tuple unpack, ``type()`` dispatch
+over every operand, guard re-tests and a fresh operand list — about one
+microsecond per instruction, the measured floor of injection campaigns
+once slicing, checkpointing and process pools have removed everything
+else.  This module removes the toll by compiling each *static*
+instruction once into a pre-bound closure: operand readers are resolved
+to direct ``regs`` lookups or folded constants, parameter loads are
+pre-fetched, guard checks are emitted only for guarded instructions, and
+the executor, destination slot, trace width and branch target are baked
+into the closure's default arguments.  The hot loop becomes an indexed
+closure call.
+
+Two stages:
+
+* :func:`compile_program` — per (program, parameter block): classify
+  every operand, fold parameter loads and immediates, and emit closures
+  for every instruction that does not read a special register.
+  Instructions that *do* read specials (``tid``/``ctaid``/…) become
+  factories, finished per thread at bind time.
+* :meth:`CompiledProgram.bind` — per (cta, slot): resolve the
+  special-reading instructions against that thread's specials dict and
+  return a :class:`BoundChain` whose ``plain``/``traced`` tuples the
+  thread driver indexes by program counter.
+
+Closure protocol (the contract with ``ThreadContext._run_compiled``):
+
+* ``plain[pc](regs, ctx) -> r`` and ``traced[pc](regs, ctx, trace) -> r``;
+* ``r >= 0`` — the next program counter;
+* ``r < 0``  — the thread blocked: the closure has already set
+  ``ctx.state`` (barrier or exit) and ``-1 - r`` is the resume pc.
+
+Traced closures append ``(pc, width)`` — or ``(pc, 0)`` when a guard
+skips — *before* executing, exactly like the interpreter, so traces stay
+byte-identical even for runs that crash mid-instruction.
+
+Constant folding never skips the destination write: a folded
+instruction's result is precomputed, but the store still happens every
+execution, because a fault model may have corrupted the register the
+instruction is about to overwrite.
+
+The arming layer in :mod:`repro.gpu.thread` keeps injection exact: the
+single dynamic instruction carrying a flip runs through the
+interpreter's slow-path semantics; every other instruction runs
+compiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ExecutionFault
+from .alu import _exec_set_general, condition_code, to_int
+from .isa import DataType, Imm, MemRef, Param, Reg, Special
+from .registers import clamp_f32
+from .thread import ThreadState
+
+#: Opcode groups mirrored from the interpreter.
+_CONTROL = frozenset(("nop", "ssy"))
+_EXITS = frozenset(("exit", "retp"))
+
+
+# --------------------------------------------------------------- operands
+#
+# Classified operands: ("r", register name), ("c", folded constant),
+# ("s", specials key — resolved per thread at bind time), or
+# ("f", reader) for the rare operand that must be evaluated at run time
+# (e.g. a parameter load whose fault should surface at execution, not at
+# compile time, matching the interpreter).
+
+
+def _classify(operand, dtype, param_mem):
+    kind = type(operand)
+    if kind is Reg:
+        return ("r", operand.name)
+    if kind is Imm:
+        return ("c", operand.value)
+    if kind is Special:
+        return ("s", (operand.name, operand.axis))
+    if kind is Param:
+        try:
+            return ("c", param_mem.load(operand.offset, dtype))
+        except Exception:
+            offset = operand.offset
+
+            def read(regs, ctx, _o=offset, _t=dtype):
+                return ctx.param_mem.load(_o, _t)
+
+            return ("f", read)
+    message = f"operand {operand!r} not readable here"
+
+    def read(regs, ctx, _m=message):
+        raise ExecutionFault(_m)
+
+    return ("f", read)
+
+
+def _reader(src):
+    """A ``read(regs, ctx) -> value`` closure for one classified operand."""
+    kind, v = src
+    if kind == "r":
+
+        def read(regs, ctx, _n=v):
+            return regs.get(_n, 0)
+
+        return read
+    if kind == "c":
+
+        def read(regs, ctx, _v=v):
+            return _v
+
+        return read
+    return v  # "f": already a reader
+
+
+# ------------------------------------------------------- generated bodies
+#
+# The hottest instruction shapes — integer/float ALU ops and set/setp
+# over register/constant operands — get exec-generated bodies with the
+# dtype's wrap arithmetic inlined (mask-and-sign-adjust instead of
+# ``executor`` → ``_wrap`` → ``canonical_int`` call chains, condition
+# codes computed in place instead of ``condition_code``).  Generated
+# code is a *template* keyed by (op, dtype, operand kinds[, cmp, dest
+# kind]): ``exec`` produces a ``make(...)`` factory once per template,
+# and every instruction matching the shape binds its register names /
+# folded constants through the factory's arguments.  Semantics are
+# pinned to the interpreter executors in :mod:`repro.gpu.alu`; the
+# differential fuzz harness enforces the equivalence.
+
+_INT_BINARY_EXPRS = {
+    "add": "x + y",
+    "sub": "x - y",
+    "mul": "x * y",
+    "mul.wide": "(x & 0xffff) * (y & 0xffff)",
+    "and": "x & y",
+    "or": "x | y",
+    "xor": "x ^ y",
+    "min": "x if x < y else y",
+    "max": "x if x > y else y",
+}
+_INT_UNARY_EXPRS = {
+    "mov": "x",
+    "cvt": "x",
+    "not": "~x",
+    "neg": "-x",
+    "abs": "x if x >= 0 else -x",
+}
+_FLOAT_BINARY_EXPRS = {"add": "x + y", "sub": "x - y", "mul": "x * y"}
+_FLOAT_UNARY_EXPRS = {"mov": "x", "cvt": "x"}
+_CMP_SYMBOLS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+#: (op, dtype, kinds, ...) -> make factory, or False for unsupported shapes.
+_FAST_CACHE: dict[tuple, object] = {}
+
+
+def _emit_reads(lines, kinds, domain):
+    """Operand-load statements; constants arrive pre-converted via args."""
+    for var, kind in zip("xyz", kinds):
+        lines.append(f"        {var} = _{var}" if kind == "c" else
+                     f"        {var} = regs.get(_{var}, 0)")
+        if kind == "c":
+            continue
+        if domain == "i":
+            lines.append(f"        if type({var}) is not int:")
+            lines.append(f"            {var} = _ti({var})")
+        else:
+            lines.append(f"        if type({var}) is not float:")
+            lines.append(f"            {var} = float({var})")
+
+
+def _emit_wrap(lines, dtype, expr, into="regs[_d]"):
+    """Assign ``canonical_int(expr, dtype)`` without the function calls."""
+    mask = (1 << dtype.width) - 1
+    if dtype.is_signed:
+        sign = 1 << (dtype.width - 1)
+        lines.append(f"        v = ({expr}) & {mask:#x}")
+        lines.append(f"        if v & {sign:#x}:")
+        lines.append(f"            v -= {mask + 1:#x}")
+        lines.append(f"        {into} = v")
+    else:
+        lines.append(f"        {into} = ({expr}) & {mask:#x}")
+
+
+def _fast_alu_source(op, dtype, kinds):
+    args = ", ".join(f"_{v}" for v, _ in zip("xyz", kinds))
+    lines = [f"def make({args}, _d, _r):", "    def body(regs, ctx):"]
+    if dtype.is_float:
+        n = len(kinds)
+        if op in ("mad", "fma") and n == 3:
+            _emit_reads(lines, kinds, "f")
+            if dtype is DataType.F32:
+                # Non-fused: the product rounds before the addition.
+                lines.append("        regs[_d] = _cl(_cl(x * y) + z)")
+            else:
+                lines.append("        regs[_d] = x * y + z")
+        elif n == 2 and op in _FLOAT_BINARY_EXPRS:
+            _emit_reads(lines, kinds, "f")
+            expr = _FLOAT_BINARY_EXPRS[op]
+            if dtype is DataType.F32:
+                lines.append(f"        regs[_d] = _cl({expr})")
+            else:
+                lines.append(f"        regs[_d] = {expr}")
+        elif n == 1 and op in _FLOAT_UNARY_EXPRS:
+            _emit_reads(lines, kinds, "f")
+            # mov/cvt round through the dtype like _exec_cvt does.
+            if dtype is DataType.F32:
+                lines.append("        regs[_d] = _cl(x)")
+            else:
+                lines.append("        regs[_d] = x")
+        else:
+            return None
+    else:
+        _emit_reads(lines, kinds, "i")
+        if op in ("mad", "fma") and len(kinds) == 3:
+            _emit_wrap(lines, dtype, "x * y + z")
+        elif len(kinds) == 2 and op in _INT_BINARY_EXPRS:
+            _emit_wrap(lines, dtype, _INT_BINARY_EXPRS[op])
+        elif len(kinds) == 1 and op in _INT_UNARY_EXPRS:
+            _emit_wrap(lines, dtype, _INT_UNARY_EXPRS[op])
+        elif op == "shl" and len(kinds) == 2:
+            lines.append("        s = y & 0xff")
+            lines.append(f"        if s >= {dtype.width}:")
+            lines.append("            regs[_d] = 0")
+            lines.append("        else:")
+            mask = (1 << dtype.width) - 1
+            if dtype.is_signed:
+                sign = 1 << (dtype.width - 1)
+                lines.append(f"            v = (x << s) & {mask:#x}")
+                lines.append(f"            if v & {sign:#x}:")
+                lines.append(f"                v -= {mask + 1:#x}")
+                lines.append("            regs[_d] = v")
+            else:
+                lines.append(f"            regs[_d] = (x << s) & {mask:#x}")
+        elif op == "shr" and len(kinds) == 2:
+            mask = (1 << dtype.width) - 1
+            lines.append("        s = y & 0xff")
+            lines.append(f"        if s >= {dtype.width}:")
+            if dtype.is_signed:
+                sign = 1 << (dtype.width - 1)
+                lines.append("            regs[_d] = -1 if x < 0 else 0")
+                lines.append("        else:")
+                lines.append(f"            v = (x >> s) & {mask:#x}")
+                lines.append(f"            if v & {sign:#x}:")
+                lines.append(f"                v -= {mask + 1:#x}")
+                lines.append("            regs[_d] = v")
+            else:
+                lines.append("            regs[_d] = 0")
+                lines.append("        else:")
+                lines.append(f"            regs[_d] = (x & {mask:#x}) >> s")
+        else:
+            return None
+    lines.append("        return _r")
+    lines.append("    return body")
+    return "\n".join(lines)
+
+
+def _fast_set_source(dtype, cmp, kinds, pred):
+    if dtype.is_float:
+        return None  # NaN semantics stay on the generic path
+    sym = _CMP_SYMBOLS[cmp]
+    mask = (1 << dtype.width) - 1
+    args = ", ".join(f"_{v}" for v, _ in zip("xy", kinds))
+    lines = [f"def make({args}, _d, _r):", "    def body(regs, ctx):"]
+    _emit_reads(lines, kinds, "i")
+    if pred:
+        lines.append(f"        code = 1 if x {sym} y else 0")
+        lines.append("        d = x - y")
+        lines.append("        if d < 0:")
+        lines.append("            code |= 2")
+        lines.append(f"        if (x & {mask:#x}) < (y & {mask:#x}):")
+        lines.append("            code |= 4")
+        if dtype.is_signed:
+            sign = 1 << (dtype.width - 1)
+            lines.append(f"        w = d & {mask:#x}")
+            lines.append(f"        if w & {sign:#x}:")
+            lines.append(f"            w -= {mask + 1:#x}")
+            lines.append("        if w != d:")
+            lines.append("            code |= 8")
+        lines.append("        regs[_d] = code")
+    else:
+        ones = -1 if dtype.is_signed else mask
+        lines.append(f"        regs[_d] = {ones} if x {sym} y else 0")
+    lines.append("        return _r")
+    lines.append("    return body")
+    return "\n".join(lines)
+
+
+def _fast_factory(key, source_fn, *source_args):
+    fac = _FAST_CACHE.get(key)
+    if fac is None:
+        src = source_fn(*source_args)
+        if src is None:
+            _FAST_CACHE[key] = False
+            return None
+        namespace = {"_ti": to_int, "_cl": clamp_f32}
+        exec(src, namespace)  # noqa: S102 - compile-time template expansion
+        fac = namespace["make"]
+        _FAST_CACHE[key] = fac
+    return fac if fac is not False else None
+
+
+# ----------------------------------------------------------------- bodies
+#
+# A body executes one unguarded instruction and returns the next pc (or
+# the negative blocked sentinel).  Guard checks and trace appends are
+# layered on by ``_wrap``.
+
+
+def _alu_body(op, executor, dtype, dest, pred, srcs, ret):
+    n = len(srcs)
+    if all(k == "c" for k, _ in srcs):
+        try:
+            value = executor(dtype, *[v for _, v in srcs])
+            if pred:
+                value = to_int(value) & 0xF
+        except Exception:
+            pass  # defer the fault to execution time, like the interpreter
+        else:
+
+            def body(regs, ctx, _d=dest, _v=value, _r=ret):
+                regs[_d] = _v
+                return _r
+
+            return body
+    if not pred and dtype is not None and all(k in ("r", "c") for k, _ in srcs):
+        kinds = "".join(k for k, _ in srcs)
+        factory = _fast_factory(
+            ("alu", op, dtype, kinds), _fast_alu_source, op, dtype, kinds
+        )
+        if factory is not None:
+            args = [
+                (float(v) if dtype.is_float else to_int(v)) if k == "c" else v
+                for k, v in srcs
+            ]
+            return factory(*args, dest, ret)
+    if pred:
+        # Predicate destinations on executor ops exist only for ``mov``;
+        # keep the path generic — it is never hot.
+        readers = tuple(_reader(s) for s in srcs)
+
+        def body(regs, ctx, _e=executor, _t=dtype, _rs=readers, _d=dest, _r=ret):
+            regs[_d] = to_int(_e(_t, *[r(regs, ctx) for r in _rs])) & 0xF
+            return _r
+
+        return body
+    if n == 1:
+        k0, a = srcs[0]
+        if k0 == "r":
+
+            def body(regs, ctx, _e=executor, _t=dtype, _a=a, _d=dest, _r=ret):
+                regs[_d] = _e(_t, regs.get(_a, 0))
+                return _r
+
+            return body
+        r0 = _reader(srcs[0])
+
+        def body(regs, ctx, _e=executor, _t=dtype, _r0=r0, _d=dest, _r=ret):
+            regs[_d] = _e(_t, _r0(regs, ctx))
+            return _r
+
+        return body
+    if n == 2:
+        (k0, a), (k1, b) = srcs
+        if k0 == "r" and k1 == "r":
+
+            def body(regs, ctx, _e=executor, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+                regs[_d] = _e(_t, regs.get(_a, 0), regs.get(_b, 0))
+                return _r
+
+            return body
+        if k0 == "r" and k1 == "c":
+
+            def body(regs, ctx, _e=executor, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+                regs[_d] = _e(_t, regs.get(_a, 0), _b)
+                return _r
+
+            return body
+        if k0 == "c" and k1 == "r":
+
+            def body(regs, ctx, _e=executor, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+                regs[_d] = _e(_t, _a, regs.get(_b, 0))
+                return _r
+
+            return body
+        r0, r1 = _reader(srcs[0]), _reader(srcs[1])
+
+        def body(regs, ctx, _e=executor, _t=dtype, _r0=r0, _r1=r1, _d=dest, _r=ret):
+            regs[_d] = _e(_t, _r0(regs, ctx), _r1(regs, ctx))
+            return _r
+
+        return body
+    # n == 3: mad / fma / slct
+    kinds = tuple(k for k, _ in srcs)
+    values = tuple(v for _, v in srcs)
+    if kinds == ("r", "r", "r"):
+        a, b, c = values
+
+        def body(regs, ctx, _e=executor, _t=dtype, _a=a, _b=b, _c=c, _d=dest, _r=ret):
+            regs[_d] = _e(_t, regs.get(_a, 0), regs.get(_b, 0), regs.get(_c, 0))
+            return _r
+
+        return body
+    if kinds == ("r", "r", "c"):
+        a, b, c = values
+
+        def body(regs, ctx, _e=executor, _t=dtype, _a=a, _b=b, _c=c, _d=dest, _r=ret):
+            regs[_d] = _e(_t, regs.get(_a, 0), regs.get(_b, 0), _c)
+            return _r
+
+        return body
+    readers = tuple(_reader(s) for s in srcs)
+
+    def body(regs, ctx, _e=executor, _t=dtype, _rs=readers, _d=dest, _r=ret):
+        regs[_d] = _e(_t, _rs[0](regs, ctx), _rs[1](regs, ctx), _rs[2](regs, ctx))
+        return _r
+
+    return body
+
+
+def _ld_body(operand, dtype, dest, pred, param_mem, ret):
+    if type(operand) is Param:
+        try:
+            value = param_mem.load(operand.offset, dtype)
+        except Exception:
+            offset = operand.offset
+
+            def body(regs, ctx, _o=offset, _t=dtype, _d=dest, _r=ret):
+                regs[_d] = ctx.param_mem.load(_o, _t)
+                return _r
+
+            return body
+        if pred:
+            value = to_int(value) & 0xF
+
+        def body(regs, ctx, _d=dest, _v=value, _r=ret):
+            regs[_d] = _v
+            return _r
+
+        return body
+    if type(operand) is not MemRef:
+        message = f"ld source {operand!r} is not a memory operand"
+
+        def body(regs, ctx, _m=message):
+            raise ExecutionFault(_m)
+
+        return body
+    offset = operand.offset
+    base = operand.base.name if operand.base is not None else None
+    shared = operand.space == "shared"
+    if base is None:
+        if shared:
+
+            def body(regs, ctx, _o=offset, _t=dtype, _d=dest, _r=ret):
+                regs[_d] = ctx.shared_mem.load(_o, _t)
+                return _r
+
+        else:
+
+            def body(regs, ctx, _o=offset, _t=dtype, _d=dest, _r=ret):
+                regs[_d] = ctx.global_mem.load(_o, _t)
+                return _r
+
+        return body
+    if shared:
+
+        def body(regs, ctx, _b=base, _o=offset, _t=dtype, _d=dest, _r=ret):
+            a = regs.get(_b, 0)
+            if type(a) is not int:
+                a = to_int(a)
+            regs[_d] = ctx.shared_mem.load(_o + a, _t)
+            return _r
+
+    else:
+
+        def body(regs, ctx, _b=base, _o=offset, _t=dtype, _d=dest, _r=ret):
+            a = regs.get(_b, 0)
+            if type(a) is not int:
+                a = to_int(a)
+            regs[_d] = ctx.global_mem.load(_o + a, _t)
+            return _r
+
+    return body
+
+
+def _st_body(operand, vsrc, dtype, ret):
+    if type(operand) is not MemRef:
+        message = f"st target {operand!r} is not a memory operand"
+
+        def body(regs, ctx, _m=message):
+            raise ExecutionFault(_m)
+
+        return body
+    offset = operand.offset
+    base = operand.base.name if operand.base is not None else None
+    shared = operand.space == "shared"
+    vk, vv = vsrc
+    if base is not None and vk == "r":
+        if shared:
+
+            def body(regs, ctx, _b=base, _o=offset, _v=vv, _t=dtype, _r=ret):
+                a = regs.get(_b, 0)
+                if type(a) is not int:
+                    a = to_int(a)
+                ctx.shared_mem.store(_o + a, regs.get(_v, 0), _t)
+                return _r
+
+        else:
+
+            def body(regs, ctx, _b=base, _o=offset, _v=vv, _t=dtype, _r=ret):
+                a = regs.get(_b, 0)
+                if type(a) is not int:
+                    a = to_int(a)
+                ctx.global_mem.store(_o + a, regs.get(_v, 0), _t)
+                return _r
+
+        return body
+    if base is not None and vk == "c":
+        if shared:
+
+            def body(regs, ctx, _b=base, _o=offset, _v=vv, _t=dtype, _r=ret):
+                a = regs.get(_b, 0)
+                if type(a) is not int:
+                    a = to_int(a)
+                ctx.shared_mem.store(_o + a, _v, _t)
+                return _r
+
+        else:
+
+            def body(regs, ctx, _b=base, _o=offset, _v=vv, _t=dtype, _r=ret):
+                a = regs.get(_b, 0)
+                if type(a) is not int:
+                    a = to_int(a)
+                ctx.global_mem.store(_o + a, _v, _t)
+                return _r
+
+        return body
+    vread = _reader(vsrc)
+    if base is None:
+        if shared:
+
+            def body(regs, ctx, _o=offset, _vr=vread, _t=dtype, _r=ret):
+                ctx.shared_mem.store(_o, _vr(regs, ctx), _t)
+                return _r
+
+        else:
+
+            def body(regs, ctx, _o=offset, _vr=vread, _t=dtype, _r=ret):
+                ctx.global_mem.store(_o, _vr(regs, ctx), _t)
+                return _r
+
+        return body
+    if shared:
+
+        def body(regs, ctx, _b=base, _o=offset, _vr=vread, _t=dtype, _r=ret):
+            a = regs.get(_b, 0)
+            if type(a) is not int:
+                a = to_int(a)
+            ctx.shared_mem.store(_o + a, _vr(regs, ctx), _t)
+            return _r
+
+    else:
+
+        def body(regs, ctx, _b=base, _o=offset, _vr=vread, _t=dtype, _r=ret):
+            a = regs.get(_b, 0)
+            if type(a) is not int:
+                a = to_int(a)
+            ctx.global_mem.store(_o + a, _vr(regs, ctx), _t)
+            return _r
+
+    return body
+
+
+def _set_body(cmp, dtype, dest, pred, srcs, ret):
+    (k0, a), (k1, b) = srcs
+    if (
+        dtype is not None
+        and not (k0 == "c" and k1 == "c")
+        and k0 in ("r", "c")
+        and k1 in ("r", "c")
+    ):
+        kinds = k0 + k1
+        factory = _fast_factory(
+            ("set", dtype, cmp, kinds, pred), _fast_set_source, dtype, cmp, kinds, pred
+        )
+        if factory is not None:
+            args = [to_int(v) if k == "c" else v for k, v in srcs]
+            return factory(*args, dest, ret)
+    if pred:
+        if k0 == "c" and k1 == "c":
+            value = condition_code(cmp, dtype, a, b)
+
+            def body(regs, ctx, _d=dest, _v=value, _r=ret):
+                regs[_d] = _v
+                return _r
+
+            return body
+        if k0 == "r" and k1 == "r":
+
+            def body(regs, ctx, _c=cmp, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+                regs[_d] = condition_code(_c, _t, regs.get(_a, 0), regs.get(_b, 0))
+                return _r
+
+            return body
+        if k0 == "r" and k1 == "c":
+
+            def body(regs, ctx, _c=cmp, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+                regs[_d] = condition_code(_c, _t, regs.get(_a, 0), _b)
+                return _r
+
+            return body
+        r0, r1 = _reader(srcs[0]), _reader(srcs[1])
+
+        def body(regs, ctx, _c=cmp, _t=dtype, _r0=r0, _r1=r1, _d=dest, _r=ret):
+            regs[_d] = condition_code(_c, _t, _r0(regs, ctx), _r1(regs, ctx))
+            return _r
+
+        return body
+    if k0 == "c" and k1 == "c":
+        value = _exec_set_general(dtype, cmp, a, b)
+
+        def body(regs, ctx, _d=dest, _v=value, _r=ret):
+            regs[_d] = _v
+            return _r
+
+        return body
+    if k0 == "r" and k1 == "r":
+
+        def body(regs, ctx, _c=cmp, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+            regs[_d] = _exec_set_general(_t, _c, regs.get(_a, 0), regs.get(_b, 0))
+            return _r
+
+        return body
+    if k0 == "r" and k1 == "c":
+
+        def body(regs, ctx, _c=cmp, _t=dtype, _a=a, _b=b, _d=dest, _r=ret):
+            regs[_d] = _exec_set_general(_t, _c, regs.get(_a, 0), _b)
+            return _r
+
+        return body
+    r0, r1 = _reader(srcs[0]), _reader(srcs[1])
+
+    def body(regs, ctx, _c=cmp, _t=dtype, _r0=r0, _r1=r1, _d=dest, _r=ret):
+        regs[_d] = _exec_set_general(_t, _c, _r0(regs, ctx), _r1(regs, ctx))
+        return _r
+
+    return body
+
+
+def _selp_body(selector, dest, srcs, ret):
+    if not (type(selector) is Reg and selector.is_pred):
+        message = "selp selector must be a predicate register"
+
+        def body(regs, ctx, _m=message):
+            raise ExecutionFault(_m)
+
+        return body
+    p = selector.name
+    r0, r1 = _reader(srcs[0]), _reader(srcs[1])
+
+    def body(regs, ctx, _p=p, _r0=r0, _r1=r1, _d=dest, _r=ret):
+        z = regs.get(_p, 0)
+        if type(z) is not int:
+            z = to_int(z)
+        regs[_d] = _r0(regs, ctx) if z & 1 else _r1(regs, ctx)
+        return _r
+
+    return body
+
+
+def _body(op, dtype, dest, pred, srcs, classified, target, cmp, executor,
+          param_mem, ret):
+    if executor is not None:
+        return _alu_body(op, executor, dtype, dest, pred, classified, ret)
+    if op == "bra":
+
+        def body(regs, ctx, _t=target):
+            return _t
+
+        return body
+    if op == "ld":
+        return _ld_body(srcs[0], dtype, dest, pred, param_mem, ret)
+    if op == "st":
+        return _st_body(srcs[0], classified[0], dtype, ret)
+    if op in ("set", "setp"):
+        return _set_body(cmp, dtype, dest, pred, classified, ret)
+    if op == "selp":
+        return _selp_body(srcs[2], dest, classified, ret)
+    if op == "bar.sync":
+        blocked = -1 - ret
+
+        def body(regs, ctx, _r=blocked):
+            ctx.state = ThreadState.AT_BARRIER
+            return _r
+
+        return body
+    if op in _EXITS:
+        blocked = -1 - ret
+
+        def body(regs, ctx, _r=blocked):
+            ctx.state = ThreadState.EXITED
+            return _r
+
+        return body
+    if op in _CONTROL:
+
+        def body(regs, ctx, _r=ret):
+            return _r
+
+        return body
+    message = f"unhandled opcode {op!r}"
+
+    def body(regs, ctx, _m=message):  # pragma: no cover - validated programs
+        raise ExecutionFault(_m)
+
+    return body
+
+
+def _wrap(body, guard, pc, width, next_pc):
+    """(plain, traced) closure pair: guard check + trace append layers."""
+    if guard is None:
+        event = (pc, width)
+
+        def traced(regs, ctx, trace, _b=body, _e=event):
+            trace.append(_e)
+            return _b(regs, ctx)
+
+        return body, traced
+    gname, gset = guard
+
+    def plain(regs, ctx, _b=body, _g=gname, _s=gset, _n=next_pc):
+        z = regs.get(_g, 0)
+        if type(z) is not int:
+            z = to_int(z)
+        if ((z & 1) == 1) != _s:
+            return _n
+        return _b(regs, ctx)
+
+    on, off = (pc, width), (pc, 0)
+
+    def traced(
+        regs, ctx, trace, _b=body, _g=gname, _s=gset, _n=next_pc, _on=on, _off=off
+    ):
+        z = regs.get(_g, 0)
+        if type(z) is not int:
+            z = to_int(z)
+        if ((z & 1) == 1) != _s:
+            trace.append(_off)
+            return _n
+        trace.append(_on)
+        return _b(regs, ctx)
+
+    return plain, traced
+
+
+# ------------------------------------------------------------ compilation
+
+
+def _compile_one(pc, entry, param_mem):
+    """One instruction → (plain, traced) pair, or a per-thread factory."""
+    op, dtype, dest, pred, width, srcs, guard, target, cmp, executor = entry
+    next_pc = pc + 1
+
+    def finish(classified):
+        body = _body(
+            op, dtype, dest, pred, srcs, classified, target, cmp, executor,
+            param_mem, next_pc,
+        )
+        return _wrap(body, guard, pc, width, next_pc)
+
+    if executor is not None:
+        classified = [_classify(s, dtype, param_mem) for s in srcs]
+    elif op == "st":
+        classified = [_classify(srcs[1], dtype, param_mem)]
+    elif op in ("set", "setp"):
+        classified = [_classify(s, dtype, param_mem) for s in srcs]
+    elif op == "selp":
+        classified = [
+            _classify(srcs[0], dtype, param_mem),
+            _classify(srcs[1], dtype, param_mem),
+        ]
+    else:
+        return finish(None)
+    if any(k == "s" for k, _ in classified):
+
+        def factory(specials, _classified=tuple(classified)):
+            resolved = [
+                ("c", specials[v]) if k == "s" else (k, v) for k, v in _classified
+            ]
+            return finish(resolved)
+
+        return factory
+    return finish(classified)
+
+
+@dataclass(frozen=True, slots=True)
+class BoundChain:
+    """Per-thread closure chains, indexed by pc by the compiled driver."""
+
+    plain: tuple
+    traced: tuple
+    end: int
+
+
+class CompiledProgram:
+    """Specialised closures for one (program, parameter block).
+
+    Instructions that read special registers become per-thread factories;
+    everything else is compiled once and shared by every thread of every
+    launch of this program with this parameter block.
+    """
+
+    __slots__ = ("_plain", "_traced", "_factories", "_invariant", "end")
+
+    def __init__(
+        self,
+        plain: list,
+        traced: list,
+        factories: list[tuple[int, Callable]],
+        end: int,
+    ) -> None:
+        self._plain = plain
+        self._traced = traced
+        self._factories = factories
+        self._invariant: BoundChain | None = None
+        self.end = end
+
+    def bind(self, specials: dict[tuple[str, str], int]) -> BoundChain:
+        """Finish the special-reading instructions for one thread."""
+        if not self._factories:
+            chain = self._invariant
+            if chain is None:
+                chain = BoundChain(tuple(self._plain), tuple(self._traced), self.end)
+                self._invariant = chain
+            return chain
+        plain = list(self._plain)
+        traced = list(self._traced)
+        for pc, factory in self._factories:
+            plain[pc], traced[pc] = factory(specials)
+        return BoundChain(tuple(plain), tuple(traced), self.end)
+
+
+def compile_program(program, param_mem) -> CompiledProgram:
+    """Compile every instruction of ``program`` against one param block."""
+    decoded = program.decoded()
+    end = len(decoded)
+    plain: list = [None] * end
+    traced: list = [None] * end
+    factories: list[tuple[int, Callable]] = []
+    for pc, entry in enumerate(decoded):
+        made = _compile_one(pc, entry, param_mem)
+        if callable(made):
+            factories.append((pc, made))
+        else:
+            plain[pc], traced[pc] = made
+    return CompiledProgram(plain, traced, factories, end)

@@ -178,6 +178,10 @@ class SharedMemory:
             raise MemoryFault("shared", 0, len(raw))
         self._data[:] = raw
 
+    def clear(self) -> None:
+        """Zero the scratchpad in place (context-pool reuse between launches)."""
+        self._data[:] = bytes(len(self._data))
+
     def load(self, address: int, dtype: DataType) -> int | float:
         size = dtype.width // 8
         if address < 0 or address + size > len(self._data):
@@ -196,6 +200,11 @@ class ParamMemory:
 
     def __init__(self, raw: bytes) -> None:
         self._data = bytes(raw)
+
+    @property
+    def raw(self) -> bytes:
+        """The immutable parameter image (compiled-backend cache key)."""
+        return self._data
 
     def load(self, offset: int, dtype: DataType) -> int | float:
         size = dtype.width // 8

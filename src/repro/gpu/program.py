@@ -79,6 +79,28 @@ class Program:
             object.__setattr__(self, "_decoded", cached)
         return cached
 
+    def compiled(self, param_mem):
+        """The program specialised into closure chains for one param block.
+
+        Compilation folds parameter loads into constants, so the cache is
+        keyed by the parameter image; each distinct parameter block gets
+        its own :class:`~repro.gpu.compiler.CompiledProgram`.  Like
+        :meth:`decoded`, results are cached on the (frozen) program via
+        ``object.__setattr__``.
+        """
+        cache = getattr(self, "_compiled", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_compiled", cache)
+        key = param_mem.raw
+        entry = cache.get(key)
+        if entry is None:
+            from .compiler import compile_program
+
+            entry = compile_program(self, param_mem)
+            cache[key] = entry
+        return entry
+
     def __len__(self) -> int:
         return len(self.instructions)
 

@@ -34,6 +34,15 @@ from .tracing import ThreadTrace
 #: Generous per-thread budget for golden runs; catches authoring bugs only.
 DEFAULT_MAX_STEPS = 1_000_000
 
+#: Execution backends: ``interpreter`` is the decoded-tuple loop in
+#: :mod:`~repro.gpu.thread`; ``compiled`` specialises programs into
+#: closure chains (:mod:`~repro.gpu.compiler`) with identical semantics.
+BACKENDS = ("interpreter", "compiled")
+
+#: Cache-size bound for pooled contexts / bound chains / specials dicts;
+#: cleared wholesale on overflow (campaigns touch far fewer keys).
+_POOL_LIMIT = 4096
+
 Dim2 = tuple[int, int]
 
 
@@ -98,10 +107,61 @@ class GPUSimulator:
     """Device state plus the launch entry point."""
 
     def __init__(
-        self, heap_bytes: int = 1 << 20, telemetry: Telemetry | None = None
+        self,
+        heap_bytes: int = 1 << 20,
+        telemetry: Telemetry | None = None,
+        backend: str = "interpreter",
     ) -> None:
+        if backend not in BACKENDS:
+            raise SimulatorError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.memory = GlobalMemory(heap_bytes)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.backend = backend
+        # Per-(program, params, geometry, cta, slot) reuse caches for the
+        # sliced fast paths: bound closure chains, read-only specials
+        # dicts, pooled ThreadContexts and shared scratchpads.  Values pin
+        # the program object so an id() collision can never alias.
+        self._bind_cache: dict = {}
+        self._specials_cache: dict = {}
+        self._context_pool: dict = {}
+        self._shared_pool: dict = {}
+
+    # ------------------------------------------------------------- pooling
+
+    def _cached_specials(self, geometry, cta: int, slot: int):
+        key = (geometry, cta, slot)
+        specials = self._specials_cache.get(key)
+        if specials is None:
+            if len(self._specials_cache) >= _POOL_LIMIT:
+                self._specials_cache.clear()
+            specials = geometry.specials_for(cta, slot)
+            self._specials_cache[key] = specials
+        return specials
+
+    def _cached_chain(self, program, compiled_program, key, specials):
+        entry = self._bind_cache.get(key)
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        chain = compiled_program.bind(specials)
+        if len(self._bind_cache) >= _POOL_LIMIT:
+            self._bind_cache.clear()
+        self._bind_cache[key] = (program, chain)
+        return chain
+
+    def _pooled_shared(self, program, cta: int):
+        key = (id(program), cta)
+        entry = self._shared_pool.get(key)
+        if entry is not None and entry[0] is program:
+            shared = entry[1]
+            shared.clear()
+            return shared
+        shared = SharedMemory(program.shared_bytes)
+        if len(self._shared_pool) >= _POOL_LIMIT:
+            self._shared_pool.clear()
+        self._shared_pool[key] = (program, shared)
+        return shared
 
     # ------------------------------------------------------------- buffers
 
@@ -169,6 +229,9 @@ class GPUSimulator:
             )
         heap = memory if memory is not None else self.memory
         param_mem = ParamMemory(param_bytes)
+        compiled_program = (
+            program.compiled(param_mem) if self.backend == "compiled" else None
+        )
         injection_thread = None
         injection_spec = None
         if injection is not None:
@@ -213,11 +276,19 @@ class GPUSimulator:
         barrier_rounds = 0
         hang = memory_fault = False
 
+        # Sliced runs (the per-injection hot path) reuse pooled contexts,
+        # shared scratchpads, specials dicts and bound closure chains;
+        # full-grid runs (golden capture) build everything fresh.
+        use_pool = only_cta is not None or only_thread is not None
+        param_key = param_mem.raw
         try:
             for cta in ctas:
-                shared = (
-                    SharedMemory(program.shared_bytes) if program.shared_bytes else None
-                )
+                if not program.shared_bytes:
+                    shared = None
+                elif use_pool:
+                    shared = self._pooled_shared(program, cta)
+                else:
+                    shared = SharedMemory(program.shared_bytes)
                 slots = range(tpc) if only_slot is None else (only_slot,)
                 threads = []
                 for slot in slots:
@@ -225,18 +296,54 @@ class GPUSimulator:
                     thread_injection = None
                     if injection_thread == thread_id:
                         thread_injection = injection_spec
-                    threads.append(
-                        ThreadContext(
-                            program,
-                            geometry.specials_for(cta, slot),
-                            heap,
-                            shared,
-                            param_mem,
-                            max_steps=max_steps,
-                            record_trace=record_traces,
-                            injection=thread_injection,
+                    if use_pool:
+                        key = (id(program), param_key, geometry, cta, slot)
+                        specials = self._cached_specials(geometry, cta, slot)
+                        chain = (
+                            self._cached_chain(
+                                program, compiled_program, key, specials
+                            )
+                            if compiled_program is not None
+                            else None
                         )
+                        entry = self._context_pool.get(key)
+                        if entry is not None and entry[0] is program:
+                            ctx = entry[1]
+                            ctx.reset(
+                                specials,
+                                heap,
+                                shared,
+                                param_mem,
+                                max_steps=max_steps,
+                                record_trace=record_traces,
+                                injection=thread_injection,
+                                compiled=chain,
+                            )
+                            threads.append(ctx)
+                            continue
+                    else:
+                        specials = geometry.specials_for(cta, slot)
+                        chain = (
+                            compiled_program.bind(specials)
+                            if compiled_program is not None
+                            else None
+                        )
+                    ctx = ThreadContext(
+                        program,
+                        specials,
+                        heap,
+                        shared,
+                        param_mem,
+                        max_steps=max_steps,
+                        record_trace=record_traces,
+                        injection=thread_injection,
+                        compiled=chain,
                     )
+                    if use_pool:
+                        if len(self._context_pool) >= _POOL_LIMIT:
+                            self._context_pool.clear()
+                        self._context_pool[key] = (program, ctx)
+                    threads.append(ctx)
                 barrier_hook = None
                 rounds_start = 0
                 skipped = 0

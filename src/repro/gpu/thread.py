@@ -70,6 +70,7 @@ class ThreadContext:
         "cp_limit",
         "cp_next",
         "cp_sink",
+        "compiled",
     )
 
     def __init__(
@@ -82,6 +83,7 @@ class ThreadContext:
         max_steps: int,
         record_trace: bool = False,
         injection: tuple[int, int] | InjectionSpec | None = None,
+        compiled=None,
     ) -> None:
         self.program = program
         self.regs = RegisterFile()
@@ -99,6 +101,41 @@ class ThreadContext:
         self.cp_limit = -1
         self.cp_next = -1
         self.cp_sink = None
+        self.compiled = compiled
+
+    def reset(
+        self,
+        specials: dict[tuple[str, str], int],
+        global_mem: GlobalMemory,
+        shared_mem: SharedMemory | None,
+        param_mem: ParamMemory,
+        max_steps: int,
+        record_trace: bool = False,
+        injection: tuple[int, int] | InjectionSpec | None = None,
+        compiled=None,
+    ) -> None:
+        """Re-arm a pooled context for a fresh launch of the same program.
+
+        Clears the register dict in place (the expensive part of context
+        construction) and reassigns every per-launch field; equivalent to
+        building a new :class:`ThreadContext` from scratch.
+        """
+        self.regs.values.clear()
+        self.pc = 0
+        self.state = ThreadState.RUNNING
+        self.dyn_count = 0
+        self.max_steps = max_steps
+        self.trace = [] if record_trace else None
+        self.injection = _normalize_injection(injection)
+        self.specials = specials
+        self.global_mem = global_mem
+        self.shared_mem = shared_mem
+        self.param_mem = param_mem
+        self.cp_every = 0
+        self.cp_limit = -1
+        self.cp_next = -1
+        self.cp_sink = None
+        self.compiled = compiled
 
     # ----------------------------------------------------------- checkpoint
 
@@ -129,6 +166,213 @@ class ThreadContext:
 
     def run_until_block(self) -> None:
         """Execute until a barrier, thread exit, or the hang budget trips."""
+        if self.compiled is not None:
+            self._run_compiled()
+        else:
+            self._run_interpreted()
+
+    def _run_compiled(self) -> None:
+        """Drive a :class:`~repro.gpu.compiler.BoundChain` closure chain.
+
+        Each iteration is one indexed closure call; hang, checkpoint and
+        injection-arming checks stay in the driver so closures carry no
+        per-step conditionals.  The single dynamic instruction holding a
+        pending fault runs through :meth:`_armed_step` (interpreter
+        semantics) so outcomes, traces and write logs stay byte-identical
+        to :meth:`_run_interpreted`.
+        """
+        bound = self.compiled
+        end = bound.end
+        regs = self.regs.values
+        trace = self.trace
+        max_steps = self.max_steps
+        injection = self.injection
+        arm_at = -1 if injection is None else injection.dyn_index
+        consumed = False
+        pc = self.pc
+        dyn = self.dyn_count
+        cp_next = self.cp_next
+        cp_sink = self.cp_sink
+        cp_every = self.cp_every
+        cp_limit = self.cp_limit
+        try:
+            if trace is None:
+                chain = bound.plain
+                while True:
+                    if pc >= end:
+                        self.state = ThreadState.EXITED
+                        return
+                    if dyn >= max_steps:
+                        raise HangDetected(
+                            f"thread exceeded {max_steps} dynamic instructions"
+                        )
+                    if dyn == cp_next:
+                        cp_sink(dyn, pc, regs)
+                        cp_next += cp_every
+                        if cp_next > cp_limit:
+                            cp_next = -1
+                    if dyn == arm_at:
+                        arm_at = -1
+                        dyn += 1
+                        pc, fired, blocked = self._armed_step(pc)
+                        if fired:
+                            consumed = True
+                        if blocked:
+                            return
+                        continue
+                    dyn += 1
+                    r = chain[pc](regs, self)
+                    if r >= 0:
+                        pc = r
+                    else:
+                        pc = -1 - r
+                        return
+            else:
+                chain = bound.traced
+                while True:
+                    if pc >= end:
+                        self.state = ThreadState.EXITED
+                        return
+                    if dyn >= max_steps:
+                        raise HangDetected(
+                            f"thread exceeded {max_steps} dynamic instructions"
+                        )
+                    if dyn == cp_next:
+                        cp_sink(dyn, pc, regs)
+                        cp_next += cp_every
+                        if cp_next > cp_limit:
+                            cp_next = -1
+                    if dyn == arm_at:
+                        arm_at = -1
+                        dyn += 1
+                        pc, fired, blocked = self._armed_step(pc)
+                        if fired:
+                            consumed = True
+                        if blocked:
+                            return
+                        continue
+                    dyn += 1
+                    r = chain[pc](regs, self, trace)
+                    if r >= 0:
+                        pc = r
+                    else:
+                        pc = -1 - r
+                        return
+        finally:
+            self.pc = pc
+            self.dyn_count = dyn
+            self.cp_next = cp_next
+            if consumed:
+                self.injection = None
+
+    def _armed_step(self, pc: int) -> tuple[int, bool, bool]:
+        """One dynamic instruction through interpreter semantics with the
+        pending injection applied — the compiled backend's slow path.
+
+        The caller has already counted this dynamic instruction; on a
+        fault the exception propagates with ``pc`` still at the crashing
+        instruction, exactly like the interpreter.  Returns
+        ``(next_pc, fired, blocked)``.
+        """
+        (
+            op, dtype, dest_name, dest_is_pred, width,
+            srcs, guard, target, cmp, executor,
+        ) = self.program.decoded()[pc]
+        regs = self.regs.values
+        specials = self.specials
+        param_mem = self.param_mem
+        trace = self.trace
+        injection = self.injection
+        bit = injection.bit
+        model = injection.model
+        flip_value = model is FaultModel.VALUE
+        fired = False
+        if model is FaultModel.REGISTER_FILE:
+            reg = injection.reg
+            regs[reg] = _flip_register_value(regs.get(reg, 0), bit)
+            fired = True
+        if guard is not None:
+            zero = to_int(regs.get(guard[0], 0)) & 1
+            executed = (zero == 1) if guard[1] else (zero == 0)
+            if not executed:
+                if trace is not None:
+                    trace.append((pc, 0))
+                return pc + 1, fired, False
+        if trace is not None:
+            trace.append((pc, width))
+        if executor is not None:
+            values = [
+                regs.get(s.name, 0) if type(s) is Reg
+                else s.value if type(s) is Imm
+                else specials[(s.name, s.axis)] if type(s) is Special
+                else param_mem.load(s.offset, dtype)
+                for s in srcs
+            ]
+            value = executor(dtype, *values)
+            if dest_is_pred:
+                value = to_int(value) & 0xF
+            regs[dest_name] = value
+            if flip_value:
+                self._flip_dest(regs, dest_name, dest_is_pred, dtype, bit)
+                fired = True
+            return pc + 1, fired, False
+        if op == "bra":
+            return target, fired, False
+        if op == "ld":
+            value = self._load(regs, srcs[0], dtype)
+            if dest_is_pred:
+                value = to_int(value) & 0xF
+            regs[dest_name] = value
+            if flip_value:
+                self._flip_dest(regs, dest_name, dest_is_pred, dtype, bit)
+                fired = True
+            return pc + 1, fired, False
+        if op == "st":
+            addr_xor = 0
+            if model is FaultModel.STORE_ADDRESS:
+                addr_xor = 1 << bit
+                fired = True
+            self._store(
+                regs, srcs[0], self._value(regs, srcs[1], dtype), dtype, addr_xor
+            )
+            return pc + 1, fired, False
+        if op in ("set", "setp"):
+            a = self._value(regs, srcs[0], dtype)
+            b = self._value(regs, srcs[1], dtype)
+            if dest_is_pred:
+                value = condition_code(cmp, dtype, a, b)
+            else:
+                value = _exec_set_general(dtype, cmp, a, b)
+            regs[dest_name] = value
+            if flip_value:
+                self._flip_dest(regs, dest_name, dest_is_pred, dtype, bit)
+                fired = True
+            return pc + 1, fired, False
+        if op == "selp":
+            pred = srcs[2]
+            if not (type(pred) is Reg and pred.is_pred):
+                raise ExecutionFault("selp selector must be a predicate register")
+            zero = to_int(regs.get(pred.name, 0)) & 1
+            chosen = srcs[0] if zero else srcs[1]
+            value = self._value(regs, chosen, dtype)
+            if dest_is_pred:
+                value = to_int(value) & 0xF
+            regs[dest_name] = value
+            if flip_value:
+                self._flip_dest(regs, dest_name, dest_is_pred, dtype, bit)
+                fired = True
+            return pc + 1, fired, False
+        if op == "bar.sync":
+            self.state = ThreadState.AT_BARRIER
+            return pc + 1, fired, True
+        if op in _EXITS:
+            self.state = ThreadState.EXITED
+            return pc + 1, fired, True
+        if op in _CONTROL:
+            return pc + 1, fired, False
+        raise ExecutionFault(f"unhandled opcode {op!r}")  # pragma: no cover
+
+    def _run_interpreted(self) -> None:
         decoded = self.program.decoded()
         end = len(decoded)
         regs = self.regs.values

@@ -147,9 +147,18 @@ def _build_payload(injector: "FaultInjector") -> dict | None:
         "hang_factor": injector.hang_factor,
         "thread_slicing": injector.thread_slicing,
         "instrumented": injector.telemetry.enabled,
+        # Ship the *resolved* interval: "auto" was already collapsed to a
+        # concrete int in the parent, so every worker uses the same plan.
         "checkpoint_interval": injector.checkpoint_interval,
         "checkpoint_budget_mb": injector.checkpoint_budget_mb,
+        "backend": injector.backend,
     }
+    try:
+        # Golden handoff: workers rebuild the final heap from these logs
+        # instead of each re-running a traced-and-logged golden launch.
+        payload["golden"] = pickle.dumps(injector.golden_state())
+    except Exception:  # pragma: no cover - exotic unpicklable golden data
+        pass  # workers fall back to running their own golden capture
     spec = injector.instance.spec
     if spec is not None:
         from .kernels.registry import get_kernel
@@ -179,6 +188,7 @@ def _init_worker(payload: dict) -> None:
     else:
         instance = pickle.loads(payload["instance"])
     telemetry = Telemetry(sink=MemorySink()) if payload["instrumented"] else NULL_TELEMETRY
+    golden = pickle.loads(payload["golden"]) if "golden" in payload else None
     _WORKER_INJECTOR = FaultInjector(
         instance,
         hang_factor=payload["hang_factor"],
@@ -187,6 +197,8 @@ def _init_worker(payload: dict) -> None:
         thread_slicing=payload["thread_slicing"],
         checkpoint_interval=payload.get("checkpoint_interval", 0),
         checkpoint_budget_mb=payload.get("checkpoint_budget_mb", 64.0),
+        backend=payload.get("backend", "interpreter"),
+        golden=golden,
     )
     _WORKER_TELEMETRY = telemetry
 

@@ -1,0 +1,141 @@
+"""Compiled-backend injection equivalence on the real kernel registry.
+
+The fuzz harness (``tests/gpu/test_compiled_backend.py``) covers ISA
+breadth on synthetic programs; these tests pin the end-to-end contract on
+registry kernels: a ``backend="compiled"`` injector produces byte-identical
+campaign outcomes, profile weights and fallback counts to the interpreter —
+including composed with checkpointed fast-forwarding, golden-state worker
+handoff, and a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import FaultInjector, load_instance, random_campaign
+from repro.errors import SimulatorError
+from repro.gpu import GPUSimulator, derive_checkpoint_interval
+from repro.parallel import ParallelCampaignRunner
+
+START_METHOD = os.environ.get("REPRO_TEST_START_METHOD") or None
+
+N_SITES = 40
+SEED = 17
+
+#: One kernel per injector slicing regime: CTA-sliced barrier-heavy
+#: (pathfinder), thread-sliced (2dconv), short-trace (k-means).
+KEYS = ("pathfinder.k1", "2dconv.k1", "k-means.k1")
+
+
+@pytest.fixture(scope="module", params=KEYS)
+def backend_pair(request):
+    key = request.param
+    interp = FaultInjector(load_instance(key))
+    compiled = FaultInjector(load_instance(key), backend="compiled")
+    return key, interp, compiled
+
+
+class TestBackendEquivalence:
+    def test_campaign_outcomes_identical(self, backend_pair):
+        key, interp, compiled = backend_pair
+        a = random_campaign(interp, N_SITES, rng=SEED)
+        b = random_campaign(compiled, N_SITES, rng=SEED)
+        assert a.outcomes == b.outcomes, key
+        assert a.profile.weights == b.profile.weights
+        assert interp.fallback_count == compiled.fallback_count
+
+    def test_store_address_and_register_file_identical(self, backend_pair):
+        key, interp, compiled = backend_pair
+        thread = max(range(len(interp.traces)), key=lambda t: len(interp.traces[t]))
+        for site in interp.store_address_sites(thread)[:12]:
+            spec = site.spec()
+            assert interp.inject_spec(site.thread, spec) == compiled.inject_spec(
+                site.thread, spec
+            ), (key, site)
+        for site in interp.sample_register_file_sites(12, np.random.default_rng(3)):
+            spec = site.spec()
+            assert interp.inject_spec(site.thread, spec) == compiled.inject_spec(
+                site.thread, spec
+            ), (key, site)
+
+    def test_full_reexecution_identical(self, backend_pair):
+        key, interp, compiled = backend_pair
+        for site in interp.space.sample(6, np.random.default_rng(SEED)):
+            assert interp.inject_full(site) == compiled.inject_full(site), (key, site)
+
+
+def test_compiled_with_checkpoints_matches_full_prefix_interpreter():
+    reference = random_campaign(
+        FaultInjector(load_instance("pathfinder.k1"), checkpoint_interval=0),
+        N_SITES,
+        rng=SEED,
+    )
+    candidate = random_campaign(
+        FaultInjector(
+            load_instance("pathfinder.k1"), backend="compiled", checkpoint_interval=16
+        ),
+        N_SITES,
+        rng=SEED,
+    )
+    assert candidate.outcomes == reference.outcomes
+    assert candidate.profile.weights == reference.profile.weights
+
+
+def test_compiled_two_workers_matches_serial_interpreter():
+    serial = random_campaign(
+        FaultInjector(load_instance("2dconv.k1")), N_SITES, rng=SEED
+    )
+    pooled = random_campaign(
+        FaultInjector(load_instance("2dconv.k1"), backend="compiled"),
+        N_SITES,
+        rng=SEED,
+        executor=ParallelCampaignRunner(2, chunk_size=8, start_method=START_METHOD),
+    )
+    assert pooled.outcomes == serial.outcomes
+    assert pooled.profile.weights == serial.profile.weights
+
+
+def test_golden_state_handoff_skips_golden_run():
+    parent = FaultInjector(load_instance("2dconv.k1"))
+    child = FaultInjector(
+        load_instance("2dconv.k1"),
+        verify_golden=False,
+        backend="compiled",
+        golden=parent.golden_state(),
+    )
+    assert child._golden_output == parent._golden_output
+    a = random_campaign(parent, N_SITES, rng=SEED)
+    b = random_campaign(child, N_SITES, rng=SEED)
+    assert a.outcomes == b.outcomes
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(SimulatorError):
+        GPUSimulator(backend="jit")
+    with pytest.raises(SimulatorError):
+        FaultInjector(load_instance("k-means.k1"), backend="jit")
+
+
+class TestAutoCheckpointInterval:
+    def test_shallow_traces_disable_the_layer(self):
+        assert derive_checkpoint_interval([]) == 0
+        assert derive_checkpoint_interval([[(0, 32)] * 50] * 8) == 0
+
+    def test_deep_traces_get_power_of_two_interval(self):
+        traces = [[(0, 32)] * 1600] * 8
+        interval = derive_checkpoint_interval(traces)
+        assert interval >= 16
+        assert interval & (interval - 1) == 0  # power of two
+
+    def test_injector_defaults(self):
+        deep = FaultInjector(load_instance("pathfinder.k1"))
+        assert deep.checkpoint_interval > 0
+        assert deep.checkpoints is not None
+        shallow = FaultInjector(load_instance("k-means.k1"))
+        assert shallow.checkpoint_interval == 0
+        assert shallow.checkpoints is None
+        explicit = FaultInjector(load_instance("pathfinder.k1"), checkpoint_interval=0)
+        assert explicit.checkpoints is None

@@ -79,7 +79,8 @@ def test_profile_with_full_instrumentation(tmp_path, capsys):
     assert manifest.events_path == str(events_path)
     assert manifest.config == {
         "loop_iters": 2, "bits": 4, "seed": 2018, "workers": 1,
-        "checkpoint_interval": 0, "checkpoint_budget_mb": 64.0,
+        "checkpoint_interval": "auto", "checkpoint_budget_mb": 64.0,
+        "backend": "interpreter",
     }
     # The recorded profile matches the percentages printed to stdout.
     pct = manifest.profile["percentages"]
