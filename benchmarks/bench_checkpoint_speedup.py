@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from benchmarks.common import emit
+from benchmarks.common import append_history, emit
 from repro import FaultInjector, load_instance
 from repro.faults.site import FaultSite
 
@@ -95,6 +95,14 @@ def run_comparison() -> str:
             )
         best_deep_speedup = max(
             best_deep_speedup, base_ms["deep"] / ck_ms["deep"]
+        )
+        append_history(
+            "checkpoint", "deep_speedup", base_ms["deep"] / ck_ms["deep"],
+            kernel=key, unit="x", direction="higher",
+        )
+        append_history(
+            "checkpoint", "deep_ms_per_injection", ck_ms["deep"],
+            kernel=key, unit="ms", direction="lower",
         )
     lines.append(f"best deep-tertile speed-up: {best_deep_speedup:.2f}x")
     assert best_deep_speedup >= 3.0, (

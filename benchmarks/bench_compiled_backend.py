@@ -22,7 +22,7 @@ overhead — amortised by the context pool — dominates.
 
 import time
 
-from benchmarks.common import emit
+from benchmarks.common import append_history, emit
 from repro import FaultInjector, load_instance, random_campaign
 from repro.parallel import ParallelCampaignRunner
 
@@ -63,6 +63,14 @@ def run_comparison() -> str:
             f"(auto checkpoint interval {interp.checkpoint_interval})"
         )
         lines.append(f"  profile (identical both backends): {interp_result.profile}")
+        append_history(
+            "compiled", "speedup", speedup,
+            kernel=key, unit="x", direction="higher",
+        )
+        append_history(
+            "compiled", "compiled_inj_per_s", compiled_rate,
+            kernel=key, unit="inj/s", direction="higher",
+        )
         if key == HEADLINE_KEY:
             headline_speedup = speedup
 

@@ -11,7 +11,7 @@ import time
 
 import numpy as np
 
-from benchmarks.common import emit, injector_for
+from benchmarks.common import append_history, emit, injector_for
 
 N_SITES = 40
 
@@ -39,6 +39,14 @@ def run_comparison(key: str = "2dconv.k1") -> str:
         f"  overlap fallbacks so far: {injector.fallback_count}",
     ]
     assert agreement == N_SITES
+    append_history(
+        "fastpath", "fast_ms_per_injection", 1000 * fast_dt / N_SITES,
+        kernel=key, unit="ms", direction="lower",
+    )
+    append_history(
+        "fastpath", "speedup", full_dt / fast_dt,
+        kernel=key, unit="x", direction="higher",
+    )
     return "\n".join(lines)
 
 

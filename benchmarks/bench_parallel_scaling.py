@@ -30,7 +30,7 @@ import time
 from repro import FaultInjector, load_instance, run_campaign
 from repro.parallel import ParallelCampaignRunner
 
-from benchmarks.common import emit, pruned_space_for
+from benchmarks.common import append_history, emit, pruned_space_for
 
 KEY = "2dconv.k1"
 REPEATS = 5
@@ -105,6 +105,14 @@ def run_scaling(key: str = KEY) -> str:
     lines.append("  profiles: byte-identical across all configurations")
 
     speedup_at_4 = baseline_dt / rows[-1][1]
+    append_history(
+        "parallel", "speedup_4_workers", speedup_at_4,
+        kernel=key, unit="x", direction="higher",
+    )
+    append_history(
+        "parallel", "inj_per_s_4_workers", n / rows[-1][1],
+        kernel=key, unit="inj/s", direction="higher",
+    )
     assert speedup_at_4 >= ACCEPTANCE_SPEEDUP, (
         f"4-worker speedup {speedup_at_4:.2f}x below the "
         f"{ACCEPTANCE_SPEEDUP}x acceptance bar"

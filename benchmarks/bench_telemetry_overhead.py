@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from benchmarks.common import emit
+from benchmarks.common import append_history, emit
 from repro import FaultInjector, load_instance
 from repro.faults.model import InjectionSpec
 from repro.telemetry import MemorySink, Telemetry
@@ -76,6 +76,14 @@ def run_overhead(key: str = "gaussian.k1") -> str:
     assert null_overhead < MAX_NULL_OVERHEAD, (
         f"null-telemetry overhead {100 * null_overhead:.2f}% exceeds "
         f"{100 * MAX_NULL_OVERHEAD:.0f}%"
+    )
+    append_history(
+        "telemetry_overhead", "null_ms_per_injection", 1000 * t_null / N_SITES,
+        kernel=key, unit="ms", direction="lower",
+    )
+    append_history(
+        "telemetry_overhead", "live_ms_per_injection", 1000 * t_live / N_SITES,
+        kernel=key, unit="ms", direction="lower",
     )
     return "\n".join(lines)
 

@@ -41,6 +41,7 @@ from repro import (
     resolve_executor,
 )
 from repro.faults import CampaignResult
+from repro.observe.history import append_history as _append_history
 from repro.pruning import PrunedSpace
 from repro.stats import sample_size_worst_case
 from repro.telemetry import RunManifest
@@ -154,6 +155,47 @@ def emit(name: str, text: str) -> None:
         seed=SETTINGS.seed,
     )
     manifest.write(RESULTS_DIR / f"{name}.manifest.json")
+
+
+def bench_config() -> dict:
+    """The knob values that shaped this run, for history records."""
+    return {
+        **asdict(SETTINGS),
+        "full": FULL,
+        "workers": WORKERS,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "checkpoint_budget_mb": CHECKPOINT_BUDGET_MB,
+        "backend": BACKEND,
+    }
+
+
+def append_history(
+    suite: str,
+    metric: str,
+    value: float,
+    *,
+    kernel: str,
+    unit: str = "",
+    direction: str = "lower",
+) -> dict:
+    """Record one benchmark observation in the machine-readable history.
+
+    Appends a normalized record (suite, kernel, metric, value, git SHA,
+    bench config) to ``benchmarks/results/history.jsonl`` and refreshes
+    the suite's ``BENCH_<suite>.json`` snapshot.  ``repro bench-check``
+    compares the newest observation of each series against the median of
+    its history — ``direction`` says which way is better.
+    """
+    return _append_history(
+        RESULTS_DIR,
+        suite,
+        kernel,
+        metric,
+        value,
+        unit=unit,
+        direction=direction,
+        config=bench_config(),
+    )
 
 
 #: Table I kernel order (NN is Table VII-only).

@@ -9,7 +9,11 @@ Commands:
 * ``stages``   — show the per-stage fault-site reduction for a kernel.
 * ``metrics``  — run a small instrumented campaign and print counters,
   gauges, histograms and span timings.
-* ``report``   — markdown resilience report.
+* ``report``   — campaign report from telemetry artifacts (pass event
+  logs and/or manifests), or a markdown resilience report for a kernel
+  key.
+* ``bench-check`` — compare the newest benchmark observations against
+  ``benchmarks/results/history.jsonl`` and fail on regressions.
 
 ``profile``/``baseline``/``stages`` accept instrumentation flags:
 ``--telemetry-out events.jsonl`` streams typed events, ``--progress``
@@ -139,11 +143,59 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=2018)
     _add_instrumentation_args(metrics)
 
-    report = sub.add_parser("report", help="markdown resilience report")
-    report.add_argument("kernel")
+    report = sub.add_parser(
+        "report",
+        help="campaign report from telemetry files, or a markdown "
+        "resilience report for a kernel key",
+    )
+    report.add_argument(
+        "target",
+        nargs="+",
+        help="telemetry files (event logs / manifests) for a campaign "
+        "report, or a single kernel key for a resilience report",
+    )
     report.add_argument("--loop-iters", type=int, default=5)
     report.add_argument("--bits", type=int, default=8)
+    report.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="campaign-report output format",
+    )
+    report.add_argument(
+        "--manifest",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="additional run manifest(s) for the campaign report",
+    )
     report.add_argument("--out", default=None, help="write to file instead of stdout")
+
+    bench = sub.add_parser(
+        "bench-check",
+        help="check newest benchmark results against the recorded history",
+    )
+    bench.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding history.jsonl and BENCH_*.json",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional drift around the baseline "
+        "(default: repro.observe.history.DEFAULT_TOLERANCE)",
+    )
+    bench.add_argument("--suite", default=None, help="check one suite only")
+    bench.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="machine-readable findings"
+    )
     return parser
 
 
@@ -171,7 +223,12 @@ def _make_telemetry(args) -> Telemetry:
 def _make_progress(args, label: str) -> ProgressReporter | None:
     if not args.progress:
         return None
-    return ProgressReporter(label=label, stream=sys.stderr)
+    # On a terminal, redraw one line in place; in a pipeline or CI log,
+    # emit periodic newline heartbeats with rolling rate and ETA instead.
+    heartbeat_s = None if sys.stderr.isatty() else 5.0
+    return ProgressReporter(
+        label=label, stream=sys.stderr, heartbeat_s=heartbeat_s
+    )
 
 
 def _finish_manifest(
@@ -383,20 +440,87 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
 def cmd_report(args) -> int:
+    import os
+
+    targets = list(args.target)
+    if all(os.path.exists(t) for t in targets):
+        from .observe import (
+            build_report,
+            load_campaign,
+            render_json,
+            render_markdown,
+            render_text,
+        )
+
+        log = load_campaign(targets, manifest_paths=args.manifest)
+        report = build_report(log)
+        renderer = {
+            "text": render_text,
+            "json": render_json,
+            "markdown": render_markdown,
+        }[args.format]
+        _emit(renderer(report), args.out)
+        return 0
+
+    if len(targets) != 1:
+        from .errors import ReproError
+
+        missing = [t for t in targets if not os.path.exists(t)]
+        raise ReproError(
+            f"campaign report needs existing telemetry files; missing: "
+            f"{', '.join(missing)}"
+        )
+
     from .analysis import render_report
 
-    injector = FaultInjector(load_instance(args.kernel))
+    injector = FaultInjector(load_instance(targets[0]))
     pruner = ProgressivePruner(num_loop_iters=args.loop_iters, n_bits=args.bits)
     space = pruner.prune(injector)
     profile = space.estimate_profile(injector)
-    text = render_report(injector, space, profile)
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {args.out}")
+    _emit(render_report(injector, space, profile), args.out)
+    return 0
+
+
+def cmd_bench_check(args) -> int:
+    from .observe.history import DEFAULT_TOLERANCE, check_history
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    findings = check_history(
+        args.results_dir, tolerance=tolerance, suite=args.suite
+    )
+    regressions = [f for f in findings if f["status"] == "regression"]
+    if args.json:
+        print(json.dumps(
+            {"tolerance": tolerance, "findings": findings,
+             "regressions": len(regressions)},
+            indent=1,
+        ))
     else:
-        print(text)
+        print(f"bench-check: {len(findings)} series, tolerance ±{tolerance:.0%}")
+        for f in findings:
+            baseline = (
+                f"baseline {f['baseline']:.6g}" if f["baseline"] is not None
+                else "no baseline"
+            )
+            print(
+                f"  [{f['status']:<11s}] {f['suite']}/{f['kernel']}"
+                f" {f['metric']}={f['value']:.6g}{f['unit']}"
+                f" ({baseline}, {f['observations']} obs)"
+            )
+        if regressions:
+            print(f"{len(regressions)} regression(s) beyond ±{tolerance:.0%}")
+    if regressions and not args.advisory:
+        return 1
     return 0
 
 
@@ -414,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_metrics(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "bench-check":
+        return cmd_bench_check(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

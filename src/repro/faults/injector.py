@@ -305,14 +305,23 @@ class FaultInjector:
             return self._run_spec(thread, spec, label)
         t0 = time.perf_counter()
         fallbacks_before = self.fallback_count
-        with telemetry.span("injection"):
-            outcome = self._run_spec(thread, spec, label)
+        instructions = telemetry.metrics.counter("sim.instructions")
+        instructions_before = instructions.value
+        prev_phases = telemetry.phases
+        telemetry.phases = phases = {}
+        try:
+            with telemetry.span("injection"):
+                outcome = self._run_spec(thread, spec, label)
+        finally:
+            telemetry.phases = prev_phases
         self._record_injection(
             thread,
             spec,
             outcome,
             fast_path=self.fallback_count == fallbacks_before,
             duration_s=time.perf_counter() - t0,
+            phases=phases,
+            suffix_instructions=instructions.value - instructions_before,
         )
         return outcome
 
@@ -353,26 +362,32 @@ class FaultInjector:
         golden writes, so they cannot flip any check).
         """
         memory = self._scratch_memory
+        telemetry = self.telemetry
         faulty_log: list[tuple[int, bytes]] = []
         read_log: list[tuple[int, int]] = []
-        resume, prefix, plan = self._thread_checkpoint_plan(thread, spec, faulty_log)
+        with telemetry.phase("checkpoint_restore"):
+            resume, prefix, plan = self._thread_checkpoint_plan(
+                thread, spec, faulty_log
+            )
         if prefix:
-            memory.apply_writes(prefix)
+            with telemetry.phase("prefix_replay"):
+                memory.apply_writes(prefix)
         memory.write_log = faulty_log
         memory.read_log = read_log
         crashed = hanged = False
         result = None
         try:
-            result = self._launcher.launch(
-                self.instance.program,
-                self.instance.geometry,
-                self.instance.param_bytes,
-                memory=memory,
-                only_thread=thread,
-                injection=(thread, spec),
-                max_steps=self._cta_budget[cta],
-                checkpoint=plan,
-            )
+            with telemetry.phase("suffix_exec"):
+                result = self._launcher.launch(
+                    self.instance.program,
+                    self.instance.geometry,
+                    self.instance.param_bytes,
+                    memory=memory,
+                    only_thread=thread,
+                    injection=(thread, spec),
+                    max_steps=self._cta_budget[cta],
+                    checkpoint=plan,
+                )
         except MemoryFault:
             crashed = True
         except HangDetected:
@@ -381,11 +396,14 @@ class FaultInjector:
             memory.write_log = None
             memory.read_log = None
             full_log = prefix + faulty_log if prefix else faulty_log
-            memory.revert_writes(full_log, self.instance.initial_memory)
+            with telemetry.phase("heap_repair"):
+                memory.revert_writes(full_log, self.instance.initial_memory)
         # Interference must be ruled out even for crash/hang outcomes: up
         # to the aborting access the thread's behaviour is only schedule-
         # independent if it never touched sibling-owned bytes.
-        if self._thread_run_interferes(thread, cta, full_log, read_log):
+        with telemetry.phase("classify"):
+            interferes = self._thread_run_interferes(thread, cta, full_log, read_log)
+        if interferes:
             return None
         if crashed:
             return Outcome.CRASH
@@ -397,10 +415,13 @@ class FaultInjector:
                 # on a store that never issues has no effect.
                 return Outcome.MASKED
             raise FaultInjectionError(f"injection at {label} never fired")
-        if self._writes_escape_cta(full_log, cta):
+        with telemetry.phase("classify"):
+            escaped = self._writes_escape_cta(full_log, cta)
+        if escaped:
             self.fallback_count += 1
             return self._run_spec_full(thread, spec, label)
-        return self._classify_patched(self._thread_patch(thread), full_log)
+        with telemetry.phase("classify"):
+            return self._classify_patched(self._thread_patch(thread), full_log)
 
     def _thread_checkpoint_plan(
         self, thread: int, spec: InjectionSpec, faulty_log: list
@@ -417,10 +438,12 @@ class FaultInjector:
         def sink(dyn: int, pc: int, regs: dict) -> None:
             if store.has_thread(thread, dyn):
                 return
+            t0 = time.perf_counter()
             store.put_thread(
                 thread,
                 ThreadCheckpoint.capture(dyn, pc, regs, base + len(faulty_log)),
             )
+            store.capture_s += time.perf_counter() - t0
 
         plan = CheckpointPlan(
             interval=interval, resume=resume, sink=sink, limit=spec.dyn_index
@@ -443,23 +466,29 @@ class FaultInjector:
         to a full-prefix CTA replay.
         """
         memory = self._scratch_memory
+        telemetry = self.telemetry
         faulty_log: list[tuple[int, bytes]] = []
-        resume, prefix, plan = self._cta_checkpoint_plan(cta, thread, spec, faulty_log)
+        with telemetry.phase("checkpoint_restore"):
+            resume, prefix, plan = self._cta_checkpoint_plan(
+                cta, thread, spec, faulty_log
+            )
         if prefix:
-            memory.apply_writes(prefix)
+            with telemetry.phase("prefix_replay"):
+                memory.apply_writes(prefix)
         memory.write_log = faulty_log
         full_log = faulty_log
         try:
-            result = self._launcher.launch(
-                self.instance.program,
-                self.instance.geometry,
-                self.instance.param_bytes,
-                memory=memory,
-                only_cta=cta,
-                injection=(thread, spec),
-                max_steps=self._cta_budget[cta],
-                checkpoint=plan,
-            )
+            with telemetry.phase("suffix_exec"):
+                result = self._launcher.launch(
+                    self.instance.program,
+                    self.instance.geometry,
+                    self.instance.param_bytes,
+                    memory=memory,
+                    only_cta=cta,
+                    injection=(thread, spec),
+                    max_steps=self._cta_budget[cta],
+                    checkpoint=plan,
+                )
         except MemoryFault:
             return Outcome.CRASH
         except HangDetected:
@@ -467,16 +496,20 @@ class FaultInjector:
         finally:
             memory.write_log = None
             full_log = prefix + faulty_log if prefix else faulty_log
-            memory.revert_writes(full_log, self.instance.initial_memory)
+            with telemetry.phase("heap_repair"):
+                memory.revert_writes(full_log, self.instance.initial_memory)
         if not result.injection_applied:
             if spec.model is FaultModel.STORE_ADDRESS:
                 return Outcome.MASKED
             raise FaultInjectionError(f"injection at {label} never fired")
 
-        if self._writes_escape_cta(full_log, cta):
+        with telemetry.phase("classify"):
+            escaped = self._writes_escape_cta(full_log, cta)
+        if escaped:
             self.fallback_count += 1
             return self._run_spec_full(thread, spec, label)
-        return self._classify_patched(self._cta_patch(cta), full_log)
+        with telemetry.phase("classify"):
+            return self._classify_patched(self._cta_patch(cta), full_log)
 
     def _cta_checkpoint_plan(
         self, cta: int, thread: int, spec: InjectionSpec, faulty_log: list
@@ -508,10 +541,12 @@ class FaultInjector:
             next_capture[0] = (ctx.dyn_count // interval + 1) * interval
             if store.has_cta(cta, rounds):
                 return
+            t0 = time.perf_counter()
             store.put_cta(
                 cta,
                 CTACheckpoint.capture(rounds, threads, shared, base + len(faulty_log)),
             )
+            store.capture_s += time.perf_counter() - t0
 
         plan = CheckpointPlan(
             interval=interval, resume=resume, sink=sink, limit=spec.dyn_index
@@ -535,6 +570,7 @@ class FaultInjector:
         telemetry.set_gauge("checkpoint.bytes", store.nbytes)
         telemetry.set_gauge("checkpoint.entries", len(store))
         telemetry.set_gauge("checkpoint.evicted", store.evicted)
+        telemetry.set_gauge("checkpoint.capture_s", store.capture_s)
 
     def inject_full(self, site: FaultSite) -> Outcome:
         """Reference slow path: re-execute the entire grid."""
@@ -551,11 +587,20 @@ class FaultInjector:
         if not telemetry.enabled:
             return self._run_spec_full(thread, spec, label)
         t0 = time.perf_counter()
-        with telemetry.span("injection"):
-            outcome = self._run_spec_full(thread, spec, label)
+        instructions = telemetry.metrics.counter("sim.instructions")
+        instructions_before = instructions.value
+        prev_phases = telemetry.phases
+        telemetry.phases = phases = {}
+        try:
+            with telemetry.span("injection"):
+                outcome = self._run_spec_full(thread, spec, label)
+        finally:
+            telemetry.phases = prev_phases
         self._record_injection(
             thread, spec, outcome, fast_path=False,
             duration_s=time.perf_counter() - t0,
+            phases=phases,
+            suffix_instructions=instructions.value - instructions_before,
         )
         return outcome
 
@@ -564,17 +609,20 @@ class FaultInjector:
     ) -> Outcome:
         label = label if label is not None else f"t{thread}:{spec}"
         self._check_spec(thread, spec)
-        memory = self.instance.initial_memory.snapshot()
+        telemetry = self.telemetry
+        with telemetry.phase("heap_repair"):
+            memory = self.instance.initial_memory.snapshot()
         max_steps = max(self._cta_budget)
         try:
-            result = self._launcher.launch(
-                self.instance.program,
-                self.instance.geometry,
-                self.instance.param_bytes,
-                memory=memory,
-                injection=(thread, spec),
-                max_steps=max_steps,
-            )
+            with telemetry.phase("suffix_exec"):
+                result = self._launcher.launch(
+                    self.instance.program,
+                    self.instance.geometry,
+                    self.instance.param_bytes,
+                    memory=memory,
+                    injection=(thread, spec),
+                    max_steps=max_steps,
+                )
         except MemoryFault:
             return Outcome.CRASH
         except HangDetected:
@@ -583,7 +631,8 @@ class FaultInjector:
             if spec.model is FaultModel.STORE_ADDRESS:
                 return Outcome.MASKED
             raise FaultInjectionError(f"injection at {label} never fired")
-        return self._classify_output(memory)
+        with telemetry.phase("classify"):
+            return self._classify_output(memory)
 
     # -------------------------------------------- extended fault-model sites
 
@@ -669,6 +718,8 @@ class FaultInjector:
         outcome: Outcome,
         fast_path: bool,
         duration_s: float,
+        phases: dict[str, float] | None = None,
+        suffix_instructions: int = 0,
     ) -> None:
         """Counters + one :class:`InjectionEvent` per classified injection."""
         telemetry = self.telemetry
@@ -678,6 +729,9 @@ class FaultInjector:
         )
         telemetry.count(f"outcome.{outcome.value}")
         telemetry.observe("injection_s", duration_s)
+        if phases:
+            for name, seconds in phases.items():
+                telemetry.observe(f"phase.{name}_s", seconds)
         telemetry.emit(
             InjectionEvent(
                 time.time(),
@@ -688,6 +742,10 @@ class FaultInjector:
                 outcome=outcome.value,
                 fast_path=fast_path,
                 duration_s=duration_s,
+                backend=self.backend,
+                checkpoint_interval=self.checkpoint_interval,
+                suffix_instructions=suffix_instructions,
+                phases=phases or None,
             )
         )
 

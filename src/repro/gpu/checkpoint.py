@@ -230,6 +230,10 @@ class CheckpointStore:
         self.stored = 0
         self.evicted = 0
         self.rejected = 0  # single snapshots larger than the whole budget
+        #: Cumulative seconds spent capturing snapshots (accumulated by
+        #: the injector's capture sinks — one timer pair per capture, so
+        #: the per-instruction hot loops stay uninstrumented).
+        self.capture_s = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -300,7 +304,7 @@ class CheckpointStore:
 
     # --------------------------------------------------------- reporting
 
-    def counters(self) -> dict[str, int]:
+    def counters(self) -> dict[str, int | float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -309,4 +313,5 @@ class CheckpointStore:
             "rejected": self.rejected,
             "entries": len(self._entries),
             "nbytes": self.nbytes,
+            "capture_s": self.capture_s,
         }

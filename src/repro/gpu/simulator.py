@@ -143,11 +143,15 @@ class GPUSimulator:
     def _cached_chain(self, program, compiled_program, key, specials):
         entry = self._bind_cache.get(key)
         if entry is not None and entry[0] is program:
+            if self.telemetry.enabled:
+                self.telemetry.count("compiled.chain_hits")
             return entry[1]
         chain = compiled_program.bind(specials)
         if len(self._bind_cache) >= _POOL_LIMIT:
             self._bind_cache.clear()
         self._bind_cache[key] = (program, chain)
+        if self.telemetry.enabled:
+            self.telemetry.count("compiled.chain_misses")
         return chain
 
     def _pooled_shared(self, program, cta: int):
@@ -162,6 +166,20 @@ class GPUSimulator:
             self._shared_pool.clear()
         self._shared_pool[key] = (program, shared)
         return shared
+
+    def _note_restore(self, seconds: float) -> None:
+        """Attribute in-launch snapshot-restore time to its own phase.
+
+        The injector's ``suffix_exec`` phase brackets the whole launch
+        call, so restore cost is moved out of it and into
+        ``checkpoint_restore`` via a negative delta — the two phases keep
+        summing to the bracketed wall clock.
+        """
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.add_phase("checkpoint_restore", seconds)
+            telemetry.add_phase("suffix_exec", -seconds)
+            telemetry.observe("checkpoint.restore_s", seconds)
 
     # ------------------------------------------------------------- buffers
 
@@ -274,6 +292,7 @@ class GPUSimulator:
         t0 = time.perf_counter() if telemetry.enabled else 0.0
         instructions = 0
         barrier_rounds = 0
+        total_skipped = 0
         hang = memory_fault = False
 
         # Sliced runs (the per-injection hot path) reuse pooled contexts,
@@ -355,7 +374,9 @@ class GPUSimulator:
                                 raise SimulatorError(
                                     "thread-sliced runs resume from ThreadCheckpoint"
                                 )
+                            restore_t0 = time.perf_counter()
                             threads[0].resume_from(resume)
+                            self._note_restore(time.perf_counter() - restore_t0)
                             skipped = resume.dyn_index
                         if checkpoint.sink is not None and checkpoint.interval > 0:
                             threads[0].plan_checkpoints(
@@ -367,7 +388,9 @@ class GPUSimulator:
                                 raise SimulatorError(
                                     "CTA-sliced runs resume from CTACheckpoint"
                                 )
+                            restore_t0 = time.perf_counter()
                             resume.restore(threads, shared)
+                            self._note_restore(time.perf_counter() - restore_t0)
                             rounds_start = resume.barrier_rounds
                             skipped = resume.instructions
                         if checkpoint.sink is not None:
@@ -405,6 +428,7 @@ class GPUSimulator:
                     # A resumed slice reports only the instructions it
                     # actually executed, not the skipped golden prefix.
                     instructions -= skipped
+                    total_skipped += skipped
                 for slot, thread in zip(slots, threads):
                     if record_traces:
                         trace_map[cta * tpc + slot] = thread.trace  # type: ignore[assignment]
@@ -441,6 +465,11 @@ class GPUSimulator:
                         hang=hang,
                         memory_fault=memory_fault,
                         duration_s=time.perf_counter() - t0,
+                        backend=self.backend,
+                        checkpoint_interval=(
+                            checkpoint.interval if checkpoint is not None else 0
+                        ),
+                        skipped_instructions=total_skipped,
                     )
                 )
 

@@ -155,6 +155,11 @@ class ThreadContext:
         (inclusive) — the last dynamic index still untouched by a pending
         injection.  Captures happen at the loop head, before the
         instruction at ``dyn`` issues and before any register-file flip.
+
+        Cost attribution: the sink itself times each capture into
+        ``CheckpointStore.capture_s`` — both hot loops (compiled and
+        interpreted) stay free of per-instruction instrumentation, so
+        phase-attributed profiles charge capture to the sink, not the loop.
         """
         self.cp_every = every
         self.cp_limit = limit

@@ -1,0 +1,42 @@
+"""Campaign observatory: turn telemetry artifacts into answers.
+
+The injection stack *records* richly — JSONL event logs, metric
+snapshots, run manifests — but raw JSONL answers no questions.  This
+package is the read side:
+
+* :mod:`~repro.observe.loader` — load one or more event logs (plus
+  optional manifests) into a typed :class:`CampaignLog`;
+* :mod:`~repro.observe.report` — build a campaign report: outcome
+  profile with Wilson CIs, per-phase latency attribution, depth-tertile
+  splits, checkpoint and compiled-chain cache efficiency, per-worker
+  load balance and straggler sites, pruning funnel;
+* :mod:`~repro.observe.render` — render a report as text, markdown or
+  JSON (the ``repro report`` CLI command);
+* :mod:`~repro.observe.history` — machine-readable benchmark history
+  with tolerance-band regression checking (``repro bench-check``).
+"""
+
+from .history import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    check_history,
+    load_history,
+    write_suite_snapshot,
+)
+from .loader import CampaignLog, load_campaign
+from .render import render_json, render_markdown, render_text
+from .report import build_report
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "CampaignLog",
+    "append_history",
+    "build_report",
+    "check_history",
+    "load_campaign",
+    "load_history",
+    "render_json",
+    "render_markdown",
+    "render_text",
+    "write_suite_snapshot",
+]

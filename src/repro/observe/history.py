@@ -1,0 +1,197 @@
+"""Machine-readable benchmark history with regression checking.
+
+Every benchmark run appends normalized records to
+``benchmarks/results/history.jsonl`` — one JSON object per line carrying
+``(suite, kernel, metric, value, unit, direction, git SHA, config,
+timestamp)`` — and refreshes a per-suite ``BENCH_<suite>.json`` snapshot
+holding the latest value of each metric.  ``repro bench-check`` replays
+the history: for every ``(suite, kernel, metric)`` series the *baseline*
+is the median of all prior observations, and the newest observation must
+stay inside a tolerance band around it (direction-aware — ``lower`` means
+smaller is better, e.g. seconds; ``higher`` means larger is better, e.g.
+speedup factors).  Single-observation series pass as ``no-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..errors import ReproError
+from ..telemetry.manifest import git_revision
+
+HISTORY_SCHEMA_VERSION = 1
+
+HISTORY_FILENAME = "history.jsonl"
+
+#: Allowed drift around the baseline before a run counts as a regression.
+DEFAULT_TOLERANCE = 0.25
+
+_DIRECTIONS = ("lower", "higher")
+
+
+def history_path(results_dir: str | Path) -> Path:
+    return Path(results_dir) / HISTORY_FILENAME
+
+
+def append_history(
+    results_dir: str | Path,
+    suite: str,
+    kernel: str,
+    metric: str,
+    value: float,
+    *,
+    unit: str = "",
+    direction: str = "lower",
+    config: dict | None = None,
+) -> dict:
+    """Append one normalized benchmark observation; returns the record.
+
+    Also refreshes the suite's ``BENCH_<suite>.json`` snapshot so the
+    latest numbers are greppable without replaying the JSONL.
+    """
+    if direction not in _DIRECTIONS:
+        raise ReproError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
+    record = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "suite": suite,
+        "kernel": kernel,
+        "metric": metric,
+        "value": float(value),
+        "unit": unit,
+        "direction": direction,
+        "git_rev": git_revision(),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": dict(config or {}),
+    }
+    path = history_path(results_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    write_suite_snapshot(results_dir, suite)
+    return record
+
+
+def load_history(
+    results_dir: str | Path, suite: str | None = None
+) -> list[dict]:
+    """All history records (optionally one suite's), in append order."""
+    path = history_path(results_dir)
+    if not path.exists():
+        return []
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("schema", 0) > HISTORY_SCHEMA_VERSION:
+                raise ReproError(
+                    f"history record uses schema {record.get('schema')!r}; "
+                    f"this build understands up to {HISTORY_SCHEMA_VERSION}"
+                )
+            if suite is None or record.get("suite") == suite:
+                records.append(record)
+    return records
+
+
+def write_suite_snapshot(results_dir: str | Path, suite: str) -> Path:
+    """Write ``BENCH_<suite>.json``: the latest value per (kernel, metric)."""
+    records = load_history(results_dir, suite)
+    latest: dict[tuple[str, str], dict] = {}
+    for record in records:
+        latest[(record["kernel"], record["metric"])] = record
+    snapshot = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "suite": suite,
+        "entries": [
+            {
+                "kernel": kernel,
+                "metric": metric,
+                "value": record["value"],
+                "unit": record["unit"],
+                "direction": record["direction"],
+                "git_rev": record["git_rev"],
+                "created_at": record["created_at"],
+                "observations": sum(
+                    1
+                    for r in records
+                    if r["kernel"] == kernel and r["metric"] == metric
+                ),
+            }
+            for (kernel, metric), record in sorted(latest.items())
+        ],
+    }
+    path = Path(results_dir) / f"BENCH_{suite}.json"
+    path.write_text(json.dumps(snapshot, indent=1) + "\n")
+    return path
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_history(
+    results_dir: str | Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+    suite: str | None = None,
+) -> list[dict]:
+    """Compare each series' newest observation against its history.
+
+    Returns one finding per ``(suite, kernel, metric)`` series:
+    ``status`` is ``ok``, ``improved``, ``regression`` or ``no-baseline``;
+    ``baseline`` is the median of all observations before the newest.
+    An empty history raises — a check against nothing is a misconfigured
+    CI job, not a pass.
+    """
+    records = load_history(results_dir, suite)
+    if not records:
+        raise ReproError(f"no benchmark history under {results_dir}")
+    series: dict[tuple[str, str, str], list[dict]] = {}
+    for record in records:
+        key = (record["suite"], record["kernel"], record["metric"])
+        series.setdefault(key, []).append(record)
+    findings = []
+    for (suite_name, kernel, metric), items in sorted(series.items()):
+        newest = items[-1]
+        prior = [r["value"] for r in items[:-1]]
+        finding = {
+            "suite": suite_name,
+            "kernel": kernel,
+            "metric": metric,
+            "value": newest["value"],
+            "unit": newest["unit"],
+            "direction": newest["direction"],
+            "observations": len(items),
+        }
+        if not prior:
+            finding.update(status="no-baseline", baseline=None, ratio=None)
+            findings.append(finding)
+            continue
+        baseline = _median(prior)
+        ratio = newest["value"] / baseline if baseline else None
+        finding.update(baseline=baseline, ratio=ratio)
+        if baseline == 0:
+            finding["status"] = "ok" if newest["value"] == 0 else "regression"
+        elif newest["direction"] == "lower":
+            if newest["value"] > baseline * (1.0 + tolerance):
+                finding["status"] = "regression"
+            elif newest["value"] < baseline * (1.0 - tolerance):
+                finding["status"] = "improved"
+            else:
+                finding["status"] = "ok"
+        else:
+            if newest["value"] < baseline * (1.0 - tolerance):
+                finding["status"] = "regression"
+            elif newest["value"] > baseline * (1.0 + tolerance):
+                finding["status"] = "improved"
+            else:
+                finding["status"] = "ok"
+        findings.append(finding)
+    return findings

@@ -1,0 +1,308 @@
+"""Build a campaign report from a :class:`~repro.observe.loader.CampaignLog`.
+
+The report is a plain nested dict — renderers (text/markdown/JSON) and
+tests consume the same structure.  Sections:
+
+* ``meta``        — kernel, sources, counts, backends, wall-clock span;
+* ``outcomes``    — per-outcome counts with Wilson confidence intervals;
+* ``latency``     — per-injection duration percentiles;
+* ``phases``      — where injection milliseconds go, by pipeline phase;
+* ``tertiles``    — latency and phase mix by fault-site depth tertile;
+* ``checkpoint``  — snapshot-store hit/miss/skip economics;
+* ``compiled``    — closure-chain bind-cache efficiency;
+* ``workers``     — per-worker utilisation and load imbalance;
+* ``stragglers``  — sites slower than the p99, with their phase splits;
+* ``funnel``      — the pruning-stage site funnel.
+
+Sections whose inputs were not recorded (no checkpoints, serial run, no
+stages) are present but ``None`` so renderers can skip them cleanly.
+"""
+
+from __future__ import annotations
+
+from ..stats.intervals import wilson_ci
+from ..telemetry.events import PHASE_NAMES
+from .loader import CampaignLog
+
+#: Straggler list length bound: enough to eyeball, short enough to print.
+MAX_STRAGGLERS = 10
+
+TERTILE_LABELS = ("shallow", "middle", "deep")
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (0 < q <= 100)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _latency_summary(durations: list[float]) -> dict:
+    ordered = sorted(durations)
+    total = sum(ordered)
+    return {
+        "count": len(ordered),
+        "total_s": total,
+        "mean_s": total / len(ordered) if ordered else 0.0,
+        "p50_s": _percentile(ordered, 50),
+        "p90_s": _percentile(ordered, 90),
+        "p99_s": _percentile(ordered, 99),
+        "max_s": ordered[-1] if ordered else 0.0,
+    }
+
+
+def _phase_totals(injections) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for event in injections:
+        if event.phases:
+            for name, seconds in event.phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+    return totals
+
+
+def _phase_section(injections) -> dict | None:
+    totals = _phase_totals(injections)
+    if not totals:
+        return None
+    duration_total = sum(e.duration_s for e in injections)
+    attributed = sum(totals.values())
+    ordered = sorted(PHASE_NAMES, key=list(PHASE_NAMES).index)
+    rows = []
+    for name in ordered:
+        if name not in totals:
+            continue
+        seconds = totals[name]
+        rows.append({
+            "phase": name,
+            "total_s": seconds,
+            "mean_s": seconds / len(injections),
+            "share": seconds / duration_total if duration_total else 0.0,
+        })
+    for name in sorted(set(totals) - set(ordered)):  # future phases
+        seconds = totals[name]
+        rows.append({
+            "phase": name,
+            "total_s": seconds,
+            "mean_s": seconds / len(injections),
+            "share": seconds / duration_total if duration_total else 0.0,
+        })
+    return {
+        "rows": rows,
+        "attributed_s": attributed,
+        "unattributed_s": max(0.0, duration_total - attributed),
+        "duration_total_s": duration_total,
+    }
+
+
+def _tertile_section(injections) -> dict | None:
+    if not injections:
+        return None
+    depths = sorted(e.dyn_index for e in injections)
+    n = len(depths)
+    cut1 = depths[(n - 1) // 3]
+    cut2 = depths[(2 * (n - 1)) // 3]
+    buckets: dict[str, list] = {label: [] for label in TERTILE_LABELS}
+    for event in injections:
+        if event.dyn_index <= cut1:
+            buckets["shallow"].append(event)
+        elif event.dyn_index <= cut2:
+            buckets["middle"].append(event)
+        else:
+            buckets["deep"].append(event)
+    rows = []
+    for label in TERTILE_LABELS:
+        events = buckets[label]
+        if not events:
+            continue
+        durations = [e.duration_s for e in events]
+        totals = _phase_totals(events)
+        attributed = sum(totals.values())
+        rows.append({
+            "tertile": label,
+            "depth_max": max(e.dyn_index for e in events),
+            **_latency_summary(durations),
+            "phase_shares": {
+                name: seconds / attributed
+                for name, seconds in sorted(totals.items())
+            } if attributed > 0 else {},
+        })
+    return {"cuts": [cut1, cut2], "rows": rows}
+
+
+def _checkpoint_section(log: CampaignLog, counters, gauges) -> dict | None:
+    hits = counters.get("checkpoint.thread_hits", 0) + counters.get(
+        "checkpoint.cta_hits", 0
+    )
+    misses = counters.get("checkpoint.thread_misses", 0) + counters.get(
+        "checkpoint.cta_misses", 0
+    )
+    intervals = {e.checkpoint_interval for e in log.injections}
+    intervals.discard(0)
+    if hits + misses == 0 and not intervals:
+        return None
+    lookups = hits + misses
+    return {
+        "interval": max(intervals) if intervals else 0,
+        "thread_hits": counters.get("checkpoint.thread_hits", 0),
+        "thread_misses": counters.get("checkpoint.thread_misses", 0),
+        "cta_hits": counters.get("checkpoint.cta_hits", 0),
+        "cta_misses": counters.get("checkpoint.cta_misses", 0),
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "skipped_instructions": counters.get("checkpoint.skipped_instructions", 0),
+        "store_bytes": gauges.get("checkpoint.bytes", 0.0),
+        "store_entries": gauges.get("checkpoint.entries", 0.0),
+        "store_evicted": gauges.get("checkpoint.evicted", 0.0),
+        "capture_s": gauges.get("checkpoint.capture_s", 0.0),
+    }
+
+
+def _compiled_section(log: CampaignLog, counters) -> dict | None:
+    hits = counters.get("compiled.chain_hits", 0)
+    misses = counters.get("compiled.chain_misses", 0)
+    backends = {e.backend for e in log.injections} | {
+        e.backend for e in log.sim_runs
+    }
+    if hits + misses == 0 and "compiled" not in backends:
+        return None
+    lookups = hits + misses
+    return {
+        "chain_hits": hits,
+        "chain_misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
+def _worker_section(log: CampaignLog, counters, histograms) -> dict | None:
+    by_worker: dict[str, list] = {}
+    for event in log.injections:
+        by_worker.setdefault(event.worker or "serial", []).append(event)
+    busy: dict[str, float] = {}
+    for name, value in counters.items():
+        if name.startswith("parallel.worker.") and name.endswith(".busy_s"):
+            busy[name[len("parallel.worker."):-len(".busy_s")]] = value
+    workers = sorted(set(by_worker) | set(busy))
+    if workers in ([], ["serial"]) and not busy:
+        return None
+    rows = []
+    for worker in workers:
+        events = by_worker.get(worker, [])
+        durations = [e.duration_s for e in events]
+        rows.append({
+            "worker": worker,
+            "injections": len(events),
+            "injection_s": sum(durations),
+            "busy_s": busy.get(worker, sum(durations)),
+        })
+    busy_values = [row["busy_s"] for row in rows if row["busy_s"] > 0]
+    mean_busy = sum(busy_values) / len(busy_values) if busy_values else 0.0
+    queue_wait = histograms.get("parallel.queue_wait_s")
+    return {
+        "rows": rows,
+        "imbalance": (max(busy_values) / mean_busy) if mean_busy else 1.0,
+        "queue_wait": queue_wait,
+    }
+
+
+def _straggler_section(log: CampaignLog) -> dict | None:
+    if not log.injections:
+        return None
+    ordered = sorted(e.duration_s for e in log.injections)
+    p99 = _percentile(ordered, 99)
+    stragglers = sorted(
+        (e for e in log.injections if e.duration_s > p99),
+        key=lambda e: e.duration_s,
+        reverse=True,
+    )[:MAX_STRAGGLERS]
+    if not stragglers:
+        return None
+    return {
+        "threshold_s": p99,
+        "rows": [
+            {
+                "thread": e.thread,
+                "dyn_index": e.dyn_index,
+                "bit": e.bit,
+                "outcome": e.outcome,
+                "fast_path": e.fast_path,
+                "duration_s": e.duration_s,
+                "worker": e.worker,
+                "phases": dict(e.phases) if e.phases else {},
+            }
+            for e in stragglers
+        ],
+    }
+
+
+def build_report(log: CampaignLog, confidence: float = 0.95) -> dict:
+    """Assemble the full campaign report dict from a loaded log."""
+    injections = log.injections
+    metrics = log.merged_metrics()
+    counters = metrics["counters"]
+    gauges = metrics["gauges"]
+    histograms = metrics.get("histograms", {})
+
+    n = len(injections)
+    outcomes: dict[str, int] = {}
+    for event in injections:
+        outcomes[event.outcome] = outcomes.get(event.outcome, 0) + 1
+    outcome_rows = []
+    for outcome in ("masked", "sdc", "crash", "hang"):
+        count = outcomes.pop(outcome, 0)
+        if count == 0 and n == 0:
+            continue
+        ci = wilson_ci(count, n, confidence) if n else None
+        outcome_rows.append({
+            "outcome": outcome,
+            "count": count,
+            "share": count / n if n else 0.0,
+            "ci_low": ci.low if ci else None,
+            "ci_high": ci.high if ci else None,
+        })
+    for outcome, count in sorted(outcomes.items()):  # future outcome kinds
+        ci = wilson_ci(count, n, confidence) if n else None
+        outcome_rows.append({
+            "outcome": outcome,
+            "count": count,
+            "share": count / n if n else 0.0,
+            "ci_low": ci.low if ci else None,
+            "ci_high": ci.high if ci else None,
+        })
+
+    timestamps = [e.ts for e in log.events]
+    backends = sorted({e.backend for e in injections})
+    fast = sum(1 for e in injections if e.fast_path)
+    return {
+        "meta": {
+            "kernel": log.kernel,
+            "sources": list(log.sources),
+            "n_injections": n,
+            "n_sim_runs": len(log.sim_runs),
+            "backends": backends,
+            "fast_path_rate": fast / n if n else 0.0,
+            "suffix_instructions": sum(e.suffix_instructions for e in injections),
+            "wall_span_s": (max(timestamps) - min(timestamps)) if timestamps else 0.0,
+            "confidence": confidence,
+        },
+        "outcomes": outcome_rows,
+        "latency": _latency_summary([e.duration_s for e in injections])
+        if injections
+        else None,
+        "phases": _phase_section(injections),
+        "tertiles": _tertile_section(injections),
+        "checkpoint": _checkpoint_section(log, counters, gauges),
+        "compiled": _compiled_section(log, counters),
+        "workers": _worker_section(log, counters, histograms),
+        "stragglers": _straggler_section(log),
+        "funnel": [
+            {
+                "stage": s.stage,
+                "sites_before": s.sites_before,
+                "sites_after": s.sites_after,
+                "factor": s.sites_before / s.sites_after if s.sites_after else 0.0,
+                "duration_s": s.duration_s,
+            }
+            for s in log.stages
+        ]
+        or None,
+    }

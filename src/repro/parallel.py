@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import time
 from collections import deque
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -203,10 +204,20 @@ def _init_worker(payload: dict) -> None:
     _WORKER_TELEMETRY = telemetry
 
 
-def _run_chunk(sites: list["FaultSite"]) -> tuple[list[str], int, dict | None]:
+def _run_chunk(
+    sites: list["FaultSite"], submitted_at: float | None = None
+) -> tuple[list[str], int, dict | None]:
     """Classify one chunk; ship outcome values + telemetry/fallback deltas."""
     injector = _WORKER_INJECTOR
     assert injector is not None, "worker initializer did not run"
+    telemetry = _WORKER_TELEMETRY
+    if telemetry.enabled and submitted_at is not None:
+        # Wall-clock spent queued between parent submit and worker pickup:
+        # the chunk-granularity face of the ``queue_wait`` phase.
+        telemetry.observe(
+            "parallel.queue_wait_s", max(0.0, time.time() - submitted_at)
+        )
+    busy_t0 = time.perf_counter()
     fallbacks_before = injector.fallback_count
     if injector.checkpoints is not None:
         # Execute the chunk in (thread, dyn_index) order for checkpoint
@@ -216,14 +227,19 @@ def _run_chunk(sites: list["FaultSite"]) -> tuple[list[str], int, dict | None]:
     else:
         outcomes = [injector.inject(site).value for site in sites]
     fallback_delta = injector.fallback_count - fallbacks_before
-    telemetry = _WORKER_TELEMETRY
     snapshot = None
     if telemetry.enabled:
+        name = multiprocessing.current_process().name
+        telemetry.count(f"parallel.worker.{name}.busy_s",
+                        time.perf_counter() - busy_t0)
+        telemetry.count(f"parallel.worker.{name}.chunks")
+        telemetry.count(f"parallel.worker.{name}.injections", len(sites))
         sink = telemetry.sink
         snapshot = {
             "events": [event_to_dict(e) for e in sink.events],
             "metrics": telemetry.metrics.snapshot(),
             "spans": telemetry.spans.snapshot(),
+            "worker": name,
         }
         # Reset so the next chunk ships deltas, not cumulative state.
         sink.events.clear()
@@ -326,9 +342,13 @@ class ParallelCampaignRunner:
             for (site, weight), value in zip(chunk, outcomes, strict=True):
                 yield site, weight, Outcome(value)
 
+        instrumented = telemetry.enabled
         for chunk in self._chunked(pairs):
             sites = [site for site, _weight in chunk]
-            pending.append((chunk, pool.apply_async(_run_chunk, (sites,))))
+            submitted_at = time.time() if instrumented else None
+            pending.append(
+                (chunk, pool.apply_async(_run_chunk, (sites, submitted_at)))
+            )
             if len(pending) >= self.max_pending:
                 yield from drain_one()
         while pending:

@@ -21,9 +21,14 @@ Progress reporting (:mod:`~repro.telemetry.progress`) and run manifests
 
 from __future__ import annotations
 
+import dataclasses
+import time
+
 from .events import (
     EVENT_TYPES,
+    EVENTS_SCHEMA_VERSION,
     NULL_SINK,
+    PHASE_NAMES,
     CampaignEvent,
     EventSink,
     InjectionEvent,
@@ -45,7 +50,7 @@ from .manifest import (
     load_manifest,
     profile_to_dict,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import SUMMED_GAUGES, Counter, Gauge, Histogram, MetricsRegistry
 from .progress import ProgressReporter
 from .timing import SpanStats, SpanTimer
 
@@ -65,6 +70,24 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _PhaseSpan:
+    """Times one injection phase and folds it into ``telemetry.phases``."""
+
+    __slots__ = ("_telemetry", "_name", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._t0 = time.perf_counter()
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        self._telemetry.add_phase(self._name, time.perf_counter() - self._t0)
+        return False
+
+
 class Telemetry:
     """Event sink + metrics registry + span timer, as one handle."""
 
@@ -79,6 +102,10 @@ class Telemetry:
         self.sink = sink if sink is not None else MemorySink()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans = spans if spans is not None else SpanTimer()
+        #: Per-injection phase accumulator (phase name -> seconds).  The
+        #: injector opens a fresh dict around each injection; while it is
+        #: None (outside any injection) phase spans are no-ops.
+        self.phases: dict[str, float] | None = None
 
     @classmethod
     def to_jsonl(cls, path, flush_each: bool = False) -> "Telemetry":
@@ -100,18 +127,43 @@ class Telemetry:
     def set_gauge(self, name: str, value: float) -> None:
         self.metrics.gauge(name).set(value)
 
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the current injection's phase dict.
+
+        No-op outside an injection (``self.phases is None``); negative
+        deltas are allowed so a layer can move time *between* phases
+        (the simulator reclassifies in-launch checkpoint-restore time out
+        of ``suffix_exec``).
+        """
+        phases = self.phases
+        if phases is not None:
+            phases[name] = phases.get(name, 0.0) + seconds
+
+    def phase(self, name: str):
+        """Context manager timing one phase of the current injection."""
+        if self.phases is None:
+            return _NULL_SPAN
+        return _PhaseSpan(self, name)
+
     def absorb(self, snapshot: dict) -> None:
         """Merge a worker-shipped telemetry snapshot into this handle.
 
         ``snapshot`` is the wire form parallel campaign workers produce:
         ``{"events": [event dicts], "metrics": MetricsRegistry.snapshot(),
-        "spans": SpanTimer.snapshot()}``.  Events are re-emitted into this
-        sink; counters add, gauges last-write-win, histogram/span stats
-        combine (see :meth:`MetricsRegistry.merge` / :meth:`SpanTimer.merge`).
+        "spans": SpanTimer.snapshot(), "worker": name}``.  Events are
+        re-emitted into this sink — stamped with the worker's name when
+        they carry a ``worker`` field left None; counters add, gauges
+        last-write-win except :data:`SUMMED_GAUGES` which sum across
+        workers, histogram/span stats combine (see
+        :meth:`MetricsRegistry.merge` / :meth:`SpanTimer.merge`).
         """
+        worker = snapshot.get("worker")
         for payload in snapshot.get("events", ()):
-            self.emit(event_from_dict(payload))
-        self.metrics.merge(snapshot.get("metrics", {}))
+            event = event_from_dict(payload)
+            if worker is not None and getattr(event, "worker", "") is None:
+                event = dataclasses.replace(event, worker=worker)
+            self.emit(event)
+        self.metrics.merge(snapshot.get("metrics", {}), worker=worker)
         self.spans.merge(snapshot.get("spans", {}))
 
     def close(self) -> None:
@@ -147,6 +199,12 @@ class NullTelemetry(Telemetry):
     def set_gauge(self, name: str, value: float) -> None:
         pass
 
+    def add_phase(self, name: str, seconds: float) -> None:
+        pass
+
+    def phase(self, name: str):
+        return _NULL_SPAN
+
     def absorb(self, snapshot: dict) -> None:
         pass
 
@@ -160,10 +218,13 @@ def coalesce(telemetry: Telemetry | None) -> Telemetry:
 
 
 __all__ = [
+    "EVENTS_SCHEMA_VERSION",
     "EVENT_TYPES",
     "MANIFEST_VERSION",
     "NULL_SINK",
     "NULL_TELEMETRY",
+    "PHASE_NAMES",
+    "SUMMED_GAUGES",
     "CampaignEvent",
     "Counter",
     "EventSink",

@@ -27,6 +27,24 @@ from pathlib import Path
 
 from ..errors import ReproError
 
+#: Version of the on-disk JSONL event schema.  Bumped whenever a record
+#: gains fields readers must understand; :class:`JsonlSink` stamps it on
+#: the header line and :func:`read_events` rejects files written by a
+#: *newer* schema (older files stay readable — new fields have defaults).
+EVENTS_SCHEMA_VERSION = 2
+
+#: Per-injection phase names, in pipeline order.  ``InjectionEvent.phases``
+#: maps a subset of these to seconds spent (phases that did not occur —
+#: e.g. ``checkpoint_restore`` with checkpointing disabled — are absent).
+PHASE_NAMES = (
+    "queue_wait",
+    "checkpoint_restore",
+    "prefix_replay",
+    "suffix_exec",
+    "heap_repair",
+    "classify",
+)
+
 
 @dataclass(frozen=True)
 class TelemetryEvent:
@@ -46,6 +64,10 @@ class SimRunEvent(TelemetryEvent):
     hang: bool
     memory_fault: bool
     duration_s: float
+    backend: str = "interpreter"  # "interpreter" | "compiled"
+    checkpoint_interval: int = 0  # 0 = checkpointing disabled
+    skipped_instructions: int = 0  # golden prefix skipped via checkpoints
+    worker: str | None = None  # pool worker name; None when serial
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,11 @@ class InjectionEvent(TelemetryEvent):
     outcome: str  # Outcome value: "masked" | "sdc" | "crash" | "hang"
     fast_path: bool  # classified via the CTA-sliced path (no fallback)
     duration_s: float
+    backend: str = "interpreter"  # "interpreter" | "compiled"
+    checkpoint_interval: int = 0  # 0 = checkpointing disabled
+    suffix_instructions: int = 0  # instructions actually executed (suffix only)
+    phases: dict | None = None  # phase name -> seconds (see PHASE_NAMES)
+    worker: str | None = None  # pool worker name; None when serial
 
 
 @dataclass(frozen=True)
@@ -113,13 +140,30 @@ def event_from_dict(data: dict) -> TelemetryEvent:
 
 
 def read_events(path: str | Path) -> list[TelemetryEvent]:
-    """Replay a JSONL event log back into typed events."""
+    """Replay a JSONL event log back into typed events.
+
+    The optional header line (``{"schema": N, ...}``, no ``"event"`` key)
+    is validated and skipped: files written by a *newer* schema than this
+    library understands raise :class:`ReproError` rather than silently
+    dropping fields.  Headerless (schema 1) files remain readable.
+    """
     events = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(event_from_dict(json.loads(line)))
+            if not line:
+                continue
+            data = json.loads(line)
+            if "event" not in data and "schema" in data:
+                schema = data["schema"]
+                if not isinstance(schema, int) or schema > EVENTS_SCHEMA_VERSION:
+                    raise ReproError(
+                        f"event log {path} uses schema {schema!r}; this build "
+                        f"understands up to {EVENTS_SCHEMA_VERSION} — upgrade "
+                        "repro to read it"
+                    )
+                continue
+            events.append(event_from_dict(data))
     return events
 
 
@@ -180,6 +224,14 @@ class JsonlSink(EventSink):
         self._handle = open(self.path, "w")
         self._flush_each = flush_each
         self.n_emitted = 0
+        # Header line: schema version first so readers can bail before
+        # parsing any event.  Not counted in n_emitted.
+        self._handle.write(
+            json.dumps(
+                {"schema": EVENTS_SCHEMA_VERSION, "writer": "repro.telemetry"}
+            )
+            + "\n"
+        )
 
     def emit(self, event: TelemetryEvent) -> None:
         self._handle.write(json.dumps(event_to_dict(event)) + "\n")

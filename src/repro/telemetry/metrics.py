@@ -22,6 +22,18 @@ from __future__ import annotations
 
 import math
 
+#: Gauges that describe *per-process* resource levels (checkpoint-store
+#: occupancy).  A naive last-write-wins merge of worker snapshots would
+#: report one arbitrary worker's store instead of the fleet total, so
+#: :meth:`MetricsRegistry.merge` sums these across workers — keeping a
+#: ``name[worker]`` gauge per contributor and the plain ``name`` as the sum.
+SUMMED_GAUGES = frozenset({
+    "checkpoint.bytes",
+    "checkpoint.entries",
+    "checkpoint.evicted",
+    "checkpoint.capture_s",
+})
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -108,7 +120,7 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram()
         return metric
 
-    def merge(self, snapshot: dict) -> None:
+    def merge(self, snapshot: dict, worker: str | None = None) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Used when parallel campaign workers ship their metrics back to
@@ -116,11 +128,28 @@ class MetricsRegistry:
         (last-write-wins, same as a local ``set``), histograms combine
         count/total/min/max — exactly the stats a single registry would
         hold had it seen every observation itself.
+
+        When ``worker`` is given, gauges in :data:`SUMMED_GAUGES` are
+        tracked per contributor (``name[worker]``) and the plain ``name``
+        gauge is maintained as the sum over contributors — e.g.
+        ``checkpoint.bytes`` becomes fleet-total snapshot memory rather
+        than whichever worker's chunk happened to merge last.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set(value)
+            if worker is not None and name in SUMMED_GAUGES:
+                self.gauge(f"{name}[{worker}]").set(value)
+                prefix = f"{name}["
+                self.gauge(name).set(
+                    sum(
+                        g.value
+                        for n, g in self._gauges.items()
+                        if n.startswith(prefix)
+                    )
+                )
+            else:
+                self.gauge(name).set(value)
         for name, summary in snapshot.get("histograms", {}).items():
             if not summary.get("count"):
                 continue

@@ -7,11 +7,18 @@ A :class:`ProgressReporter` has two faces:
 * a **renderer** that throttles carriage-return updates to a stream
   (stderr for the CLI) and fires an optional ``callback(reporter)`` on
   every advance for programmatic consumers.
+
+With ``heartbeat_s`` set, carriage-return rendering is replaced by
+periodic newline-terminated heartbeat lines carrying a *rolling*
+rate (computed over the recent window, not since campaign start) and
+ETA — the log-friendly mode for long unattended campaigns.  ``close()``
+always flushes a final heartbeat so short campaigns aren't silent.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 
 
 class ProgressReporter:
@@ -25,17 +32,24 @@ class ProgressReporter:
         stream=None,
         min_interval_s: float = 0.2,
         clock=time.monotonic,
+        heartbeat_s: float | None = None,
     ) -> None:
         self.total = total
         self.label = label
         self.callback = callback
         self.stream = stream
         self.min_interval_s = min_interval_s
+        self.heartbeat_s = heartbeat_s
         self._clock = clock
         self.done = 0
         self.started_at: float | None = None
         self._last_render = -float("inf")
         self._rendered = False
+        self._last_heartbeat = -float("inf")
+        self.heartbeats_emitted = 0
+        # (timestamp, done) samples for the rolling rate; span kept to
+        # roughly two heartbeat periods so the rate tracks recent speed.
+        self._window: deque[tuple[float, int]] = deque()
 
     # ------------------------------------------------------------ updates
 
@@ -60,24 +74,47 @@ class ProgressReporter:
     def _after_advance(self) -> None:
         if self.callback is not None:
             self.callback(self)
-        if self.stream is not None:
-            now = self._clock()
-            finished = self.total is not None and self.done >= self.total
-            if finished or now - self._last_render >= self.min_interval_s:
-                self.stream.write("\r" + self.render_line())
-                self.stream.flush()
-                self._last_render = now
-                self._rendered = True
+        now = self._clock()
+        self._window.append((now, self.done))
+        span = (self.heartbeat_s or self.min_interval_s) * 2
+        while len(self._window) > 2 and now - self._window[0][0] > span:
+            self._window.popleft()
+        if self.stream is None:
+            return
+        if self.heartbeat_s is not None:
+            if now - self._last_heartbeat >= self.heartbeat_s:
+                self._emit_heartbeat(now)
+            return
+        finished = self.total is not None and self.done >= self.total
+        if finished or now - self._last_render >= self.min_interval_s:
+            self.stream.write("\r" + self.render_line())
+            self.stream.flush()
+            self._last_render = now
+            self._rendered = True
+
+    def _emit_heartbeat(self, now: float) -> None:
+        self.stream.write(self.render_heartbeat() + "\n")
+        self.stream.flush()
+        self._last_heartbeat = now
+        self.heartbeats_emitted += 1
 
     def close(self) -> None:
-        """Final render plus newline, so the shell prompt stays clean."""
-        if self.stream is not None:
-            if not self._rendered:
-                self.stream.write(self.render_line())
-            else:
-                self.stream.write("\r" + self.render_line())
-            self.stream.write("\n")
-            self.stream.flush()
+        """Final render plus newline, so the shell prompt stays clean.
+
+        In heartbeat mode a final heartbeat is always flushed — campaigns
+        shorter than one ``heartbeat_s`` period still report their rate.
+        """
+        if self.stream is None:
+            return
+        if self.heartbeat_s is not None:
+            self._emit_heartbeat(self._clock())
+            return
+        if not self._rendered:
+            self.stream.write(self.render_line())
+        else:
+            self.stream.write("\r" + self.render_line())
+        self.stream.write("\n")
+        self.stream.flush()
 
     def __enter__(self) -> "ProgressReporter":
         self.start()
@@ -101,11 +138,22 @@ class ProgressReporter:
         return self.done / elapsed if elapsed > 0 else 0.0
 
     @property
+    def rolling_rate(self) -> float:
+        """Units/second over the recent sample window (falls back to the
+        cumulative :attr:`rate` until two window samples exist)."""
+        if len(self._window) >= 2:
+            (t0, d0), (t1, d1) = self._window[0], self._window[-1]
+            if t1 > t0:
+                return (d1 - d0) / (t1 - t0)
+        return self.rate
+
+    @property
     def eta_s(self) -> float | None:
         """Seconds remaining, or None when total/rate are unknown."""
-        if self.total is None or self.rate == 0:
+        rate = self.rolling_rate or self.rate
+        if self.total is None or rate == 0:
             return None
-        return max(0.0, (self.total - self.done) / self.rate)
+        return max(0.0, (self.total - self.done) / rate)
 
     def render_line(self) -> str:
         prefix = f"{self.label}: " if self.label else ""
@@ -116,6 +164,19 @@ class ProgressReporter:
             line = f"{prefix}{self.done}"
         if self.rate > 0:
             line += f" {self.rate:8.1f}/s"
+        eta = self.eta_s
+        if eta is not None:
+            line += f" eta {_format_duration(eta)}"
+        return line
+
+    def render_heartbeat(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            line = f"{prefix}heartbeat {self.done}/{self.total} ({pct:5.1f}%)"
+        else:
+            line = f"{prefix}heartbeat {self.done}"
+        line += f" {self.rolling_rate:.1f}/s"
         eta = self.eta_s
         if eta is not None:
             line += f" eta {_format_duration(eta)}"

@@ -252,4 +252,5 @@ class TestCheckpointStore:
             "rejected": 0,
             "entries": 1,
             "nbytes": store.nbytes,
+            "capture_s": store.capture_s,
         }

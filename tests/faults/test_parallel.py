@@ -117,6 +117,67 @@ class TestTelemetryMerge:
         assert parallel_tel.spans.snapshot()["injection"]["count"] >= 32
 
 
+class TestCheckpointCounterMerge:
+    """Regression: checkpoint store metrics from pool workers must *sum*.
+
+    Counters always added across snapshots, but the store gauges
+    (``checkpoint.bytes`` etc.) were last-write-wins, so a 4-worker
+    campaign reported only the last worker's store.  They are now scoped
+    per worker and summed (see ``SUMMED_GAUGES``).
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_lookup_totals_invariant_across_worker_counts(self, workers):
+        serial_tel = Telemetry(sink=MemorySink())
+        serial = FaultInjector(
+            load_instance("2dconv.k1"), telemetry=serial_tel, checkpoint_interval=8
+        )
+        random_campaign(serial, 48, rng=11)
+        serial_counts = serial_tel.metrics.snapshot()["counters"]
+
+        parallel_tel = Telemetry(sink=MemorySink())
+        injector = FaultInjector(
+            load_instance("2dconv.k1"),
+            telemetry=parallel_tel,
+            checkpoint_interval=8,
+        )
+        random_campaign(injector, 48, rng=11, executor=make_runner(workers))
+        counts = parallel_tel.metrics.snapshot()["counters"]
+
+        # Which lookups hit depends on each worker's private store, but the
+        # number of lookups per kind is execution-path invariant.
+        for kind in ("thread", "cta"):
+            serial_lookups = serial_counts.get(
+                f"checkpoint.{kind}_hits", 0
+            ) + serial_counts.get(f"checkpoint.{kind}_misses", 0)
+            lookups = counts.get(f"checkpoint.{kind}_hits", 0) + counts.get(
+                f"checkpoint.{kind}_misses", 0
+            )
+            assert lookups == serial_lookups, kind
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_store_gauges_sum_across_workers(self, workers):
+        telemetry = Telemetry(sink=MemorySink())
+        injector = FaultInjector(
+            load_instance("2dconv.k1"), telemetry=telemetry, checkpoint_interval=8
+        )
+        random_campaign(injector, 48, rng=11, executor=make_runner(workers))
+        gauges = telemetry.metrics.snapshot()["gauges"]
+        scoped = {
+            name: value
+            for name, value in gauges.items()
+            if name.startswith("checkpoint.bytes[")
+        }
+        # Slow pool start-up (spawn) can let one worker drain every chunk,
+        # so only a lower bound on participating workers is deterministic.
+        assert 1 <= len(scoped) <= workers
+        assert all(value > 0 for value in scoped.values())
+        # The headline gauge is the fleet total, not one worker's store.
+        assert gauges["checkpoint.bytes"] == pytest.approx(sum(scoped.values()))
+        if len(scoped) > 1:
+            assert gauges["checkpoint.bytes"] > max(scoped.values())
+
+
 class TestFailureSurfacing:
     def test_worker_exception_propagates(self):
         injector = FaultInjector(load_instance("2dconv.k1"))

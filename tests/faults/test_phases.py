@@ -1,0 +1,90 @@
+"""Phase attribution: per-injection phase breakdowns on InjectionEvent.
+
+The contract: with live telemetry every injection carries a ``phases``
+dict whose keys come from :data:`~repro.telemetry.PHASE_NAMES` and whose
+values sum to (at most) the injection's wall-clock ``duration_s`` — the
+gap is untimed bookkeeping outside the phase brackets, which must stay
+tiny.  The breakdown must hold on both backends and with checkpointed
+fast-forwarding on or off, and must never change classification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultInjector, load_instance, random_campaign
+from repro.telemetry import PHASE_NAMES, InjectionEvent, MemorySink, Telemetry
+
+KEY = "gaussian.k125"
+N_SITES = 16
+#: Untimed slack per injection: event construction, site validation, the
+#: dispatch between phase brackets.  Generous for slow CI boxes, still
+#: far below any real phase.
+MAX_UNATTRIBUTED_S = 0.02
+
+
+def _campaign_events(backend: str, checkpoint_interval) -> list[InjectionEvent]:
+    telemetry = Telemetry(sink=MemorySink())
+    injector = FaultInjector(
+        load_instance(KEY),
+        telemetry=telemetry,
+        backend=backend,
+        checkpoint_interval=checkpoint_interval,
+    )
+    random_campaign(injector, N_SITES, rng=5)
+    return telemetry.sink.of_type(InjectionEvent)
+
+
+@pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+@pytest.mark.parametrize("checkpoint_interval", [0, 8], ids=["no-ckpt", "ckpt8"])
+class TestPhaseSums:
+    def test_phases_cover_duration_within_epsilon(
+        self, backend, checkpoint_interval
+    ):
+        events = _campaign_events(backend, checkpoint_interval)
+        assert len(events) == N_SITES
+        for event in events:
+            assert event.phases, f"no phases on {event}"
+            attributed = sum(event.phases.values())
+            gap = event.duration_s - attributed
+            # Phases are timed inside the duration bracket: the sum can
+            # undershoot by untimed glue but never meaningfully overshoot.
+            assert gap >= -1e-4, (event.phases, event.duration_s)
+            assert gap <= MAX_UNATTRIBUTED_S, (event.phases, event.duration_s)
+
+    def test_phase_names_and_values_are_sane(self, backend, checkpoint_interval):
+        for event in _campaign_events(backend, checkpoint_interval):
+            assert set(event.phases) <= set(PHASE_NAMES)
+            assert all(v >= 0.0 for v in event.phases.values()), event.phases
+            assert "suffix_exec" in event.phases
+            assert event.backend == backend
+            assert event.suffix_instructions > 0
+
+
+class TestPhaseMetadata:
+    def test_checkpointed_events_record_interval_and_restore_phase(self):
+        events = _campaign_events("interpreter", 8)
+        assert all(e.checkpoint_interval == 8 for e in events)
+        # At least one deep injection resumes from a snapshot.
+        assert any("checkpoint_restore" in e.phases for e in events)
+
+    def test_uncheckpointed_events_record_zero_interval(self):
+        events = _campaign_events("interpreter", 0)
+        assert all(e.checkpoint_interval == 0 for e in events)
+
+    def test_null_telemetry_records_nothing(self):
+        injector = FaultInjector(load_instance(KEY))
+        result = random_campaign(injector, 4, rng=5)
+        assert injector.telemetry.phases is None
+        assert len(result.outcomes) == 4
+
+    def test_phases_do_not_change_outcomes(self):
+        plain = random_campaign(FaultInjector(load_instance(KEY)), N_SITES, rng=5)
+        instrumented = random_campaign(
+            FaultInjector(
+                load_instance(KEY), telemetry=Telemetry(sink=MemorySink())
+            ),
+            N_SITES,
+            rng=5,
+        )
+        assert instrumented.outcomes == plain.outcomes

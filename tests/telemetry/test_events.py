@@ -1,10 +1,13 @@
 """Event typing, sinks, and JSONL round-trips of every event type."""
 
+import json
+
 import pytest
 
 from repro.errors import ReproError
 from repro.telemetry import (
     EVENT_TYPES,
+    EVENTS_SCHEMA_VERSION,
     CampaignEvent,
     InjectionEvent,
     JsonlSink,
@@ -90,3 +93,45 @@ class TestSinks:
         # Not closed: the line must already be on disk.
         assert read_events(path) == [SAMPLE_EVENTS[0]]
         sink.close()
+
+
+class TestSchemaVersioning:
+    def test_jsonl_sink_writes_schema_header(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(SAMPLE_EVENTS[0])
+            assert sink.n_emitted == 1  # header not counted
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == EVENTS_SCHEMA_VERSION
+        assert "event" not in header
+
+    def test_headerless_legacy_log_still_reads(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps(event_to_dict(SAMPLE_EVENTS[1])) + "\n"
+        )
+        assert read_events(path) == [SAMPLE_EVENTS[1]]
+
+    def test_newer_schema_rejected_loudly(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"schema": EVENTS_SCHEMA_VERSION + 1}) + "\n"
+            + json.dumps(event_to_dict(SAMPLE_EVENTS[0])) + "\n"
+        )
+        with pytest.raises(ReproError, match="upgrade"):
+            read_events(path)
+
+    def test_garbage_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "vNext"}) + "\n")
+        with pytest.raises(ReproError):
+            read_events(path)
+
+    def test_unknown_event_fields_are_ignored(self, tmp_path):
+        # A same-major log from a slightly newer writer may carry extra
+        # per-event fields; readers drop them instead of crashing.
+        record = event_to_dict(SAMPLE_EVENTS[1])
+        record["novel_field"] = 42
+        path = tmp_path / "extra.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        assert read_events(path) == [SAMPLE_EVENTS[1]]

@@ -105,3 +105,64 @@ class TestTelemetryAbsorb:
         parent = Telemetry(sink=MemorySink())
         parent.absorb({})
         assert parent.sink.events == []
+
+    def test_absorb_stamps_worker_onto_events(self):
+        worker = Telemetry(sink=MemorySink())
+        worker.emit(
+            InjectionEvent(
+                1.0, thread=0, dyn_index=0, bit=0, model="value",
+                outcome="masked", fast_path=True, duration_s=0.25,
+            )
+        )
+        parent = Telemetry(sink=MemorySink())
+        parent.absorb({
+            "events": [event_to_dict(e) for e in worker.sink.events],
+            "worker": "PoolWorker-7",
+        })
+        assert parent.sink.events[0].worker == "PoolWorker-7"
+
+    def test_store_gauges_sum_per_worker(self):
+        """Regression: checkpoint store gauges from different workers must
+        sum into the headline gauge instead of last-write-winning."""
+        parent = Telemetry(sink=MemorySink())
+        for name, nbytes in (("w1", 1000.0), ("w2", 300.0)):
+            snapshot = {
+                "metrics": {
+                    "counters": {"checkpoint.thread_hits": 2},
+                    "gauges": {"checkpoint.bytes": nbytes},
+                    "histograms": {},
+                },
+                "worker": name,
+            }
+            parent.absorb(snapshot)
+        gauges = parent.metrics.snapshot()["gauges"]
+        assert gauges["checkpoint.bytes"] == 1300.0
+        assert gauges["checkpoint.bytes[w1]"] == 1000.0
+        assert gauges["checkpoint.bytes[w2]"] == 300.0
+        # Counters keep plain summing.
+        assert parent.metrics.counter("checkpoint.thread_hits").value == 4
+
+    def test_resent_worker_gauge_updates_not_double_counts(self):
+        parent = Telemetry(sink=MemorySink())
+        for nbytes in (500.0, 800.0):  # same worker reporting twice
+            parent.absorb({
+                "metrics": {
+                    "counters": {},
+                    "gauges": {"checkpoint.bytes": nbytes},
+                    "histograms": {},
+                },
+                "worker": "w1",
+            })
+        gauges = parent.metrics.snapshot()["gauges"]
+        assert gauges["checkpoint.bytes"] == 800.0
+
+    def test_workerless_gauges_keep_last_write_semantics(self):
+        parent = Telemetry(sink=MemorySink())
+        parent.absorb({
+            "metrics": {
+                "counters": {},
+                "gauges": {"checkpoint.bytes": 123.0},
+                "histograms": {},
+            },
+        })
+        assert parent.metrics.snapshot()["gauges"]["checkpoint.bytes"] == 123.0

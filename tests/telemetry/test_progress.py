@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.telemetry import ProgressReporter
 
 
@@ -89,3 +91,63 @@ class TestRendering:
         with ProgressReporter(total=1, stream=stream) as reporter:
             reporter.update()
         assert stream.getvalue().endswith("\n")
+
+
+class TestHeartbeat:
+    def make(self, clock, stream, heartbeat_s=5.0, total=100):
+        return ProgressReporter(
+            total=total, label="camp", stream=stream, clock=clock,
+            heartbeat_s=heartbeat_s,
+        )
+
+    def test_heartbeats_are_periodic_newline_lines(self):
+        clock, stream = FakeClock(), io.StringIO()
+        reporter = self.make(clock, stream)
+        for _ in range(20):
+            clock.advance(1.0)
+            reporter.update()
+        lines = stream.getvalue().splitlines()
+        # t=1 (first advance), then every >=5s: t=6, t=11, t=16.
+        assert reporter.heartbeats_emitted == 4
+        assert len(lines) == 4
+        assert all(line.startswith("camp: heartbeat ") for line in lines)
+        assert "\r" not in stream.getvalue()
+
+    def test_rolling_rate_tracks_recent_speed(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(total=1000, clock=clock, heartbeat_s=5.0)
+        reporter.start()
+        # 100 units in the first 10s, then a slowdown to 1 unit/s.
+        clock.advance(10.0)
+        reporter(100)
+        for done in range(101, 112):
+            clock.advance(1.0)
+            reporter(done)
+        # Cumulative rate still remembers the fast start...
+        assert reporter.rate > 5.0
+        # ...the rolling window reports the current pace.
+        assert reporter.rolling_rate == pytest.approx(1.0, rel=0.3)
+        assert reporter.eta_s == pytest.approx(
+            (1000 - reporter.done) / reporter.rolling_rate
+        )
+
+    def test_close_always_flushes_final_heartbeat(self):
+        clock, stream = FakeClock(), io.StringIO()
+        reporter = self.make(clock, stream, heartbeat_s=60.0, total=3)
+        clock.advance(0.5)
+        reporter.update(3)  # first advance emits immediately
+        reporter.close()  # short campaign: closing emits the 3/3 line
+        lines = stream.getvalue().splitlines()
+        assert reporter.heartbeats_emitted == 2
+        assert lines[-1].startswith("camp: heartbeat 3/3")
+
+    def test_intermediate_updates_between_beats_are_silent(self):
+        clock, stream = FakeClock(), io.StringIO()
+        reporter = self.make(clock, stream)
+        clock.advance(1.0)
+        reporter.update()  # beat
+        for _ in range(3):
+            clock.advance(0.5)
+            reporter.update()  # within the 5s period: silent
+        assert reporter.heartbeats_emitted == 1
+        assert reporter.done == 4
