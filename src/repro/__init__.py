@@ -33,15 +33,19 @@ from .errors import (
     SimulatorError,
 )
 from .faults import (
+    CoherenceAudit,
     FaultInjector,
     GoldenState,
     FaultSite,
     FaultSpace,
     Outcome,
+    PropagationRecord,
+    PropagationTracer,
     ResilienceProfile,
     exhaustive_campaign,
     random_campaign,
     run_campaign,
+    run_coherence_audit,
 )
 from .gpu import BACKENDS
 from .kernels import KernelInstance, KernelSpec, all_kernels, get_kernel, load_instance
@@ -59,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BACKENDS",
+    "CoherenceAudit",
     "FaultInjectionError",
     "FaultInjector",
     "FaultSite",
@@ -75,6 +80,8 @@ __all__ = [
     "Outcome",
     "ParallelCampaignRunner",
     "ProgressReporter",
+    "PropagationRecord",
+    "PropagationTracer",
     "RunManifest",
     "Telemetry",
     "ProgressivePruner",
@@ -91,5 +98,6 @@ __all__ = [
     "random_campaign",
     "resolve_executor",
     "run_campaign",
+    "run_coherence_audit",
     "__version__",
 ]

@@ -11,9 +11,13 @@ Commands:
   gauges, histograms and span timings.
 * ``report``   — campaign report from telemetry artifacts (pass event
   logs and/or manifests), or a markdown resilience report for a kernel
-  key.
+  key; ``--propagation`` adds the provenance sections, ``--diff A B``
+  compares two report JSONs.
+* ``trace-fault`` — deep-dive one injection's propagation: corruption
+  lineage, divergence/masking points, heap and output geometry.
 * ``bench-check`` — compare the newest benchmark observations against
-  ``benchmarks/results/history.jsonl`` and fail on regressions.
+  ``benchmarks/results/history.jsonl`` (host-keyed baselines; ``--host``
+  overrides) and fail on regressions.
 
 ``profile``/``baseline``/``stages`` accept instrumentation flags:
 ``--telemetry-out events.jsonl`` streams typed events, ``--progress``
@@ -100,6 +104,13 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         help="execution backend: the reference interpreter or the "
         "compiled closure-chain backend (identical outcomes, faster)",
     )
+    sub.add_argument(
+        "--propagation",
+        action="store_true",
+        help="trace fault propagation per injection (corruption lineage, "
+        "divergence/masking points, output geometry); records ride the "
+        "telemetry event stream and feed 'repro report --propagation'",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -120,6 +131,14 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--loop-iters", type=int, default=5)
     profile.add_argument("--bits", type=int, default=16)
     profile.add_argument("--seed", type=int, default=2018)
+    profile.add_argument(
+        "--audit-groups",
+        type=int,
+        metavar="K",
+        default=0,
+        help="after the campaign, audit up to K pruned thread groups for "
+        "propagation-signature coherence (implies --propagation; serial)",
+    )
     _add_instrumentation_args(profile)
 
     baseline = sub.add_parser("baseline", help="random statistical baseline")
@@ -150,7 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "target",
-        nargs="+",
+        nargs="*",
         help="telemetry files (event logs / manifests) for a campaign "
         "report, or a single kernel key for a resilience report",
     )
@@ -169,7 +188,43 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="additional run manifest(s) for the campaign report",
     )
+    report.add_argument(
+        "--propagation",
+        action="store_true",
+        help="include the propagation sections (PC vulnerability map, "
+        "masking histograms, SDC signatures, group coherence); needs a "
+        "campaign run with --propagation",
+    )
+    report.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="compare two 'repro report --format json' files "
+        "(A = baseline, B = candidate) instead of rendering one report",
+    )
     report.add_argument("--out", default=None, help="write to file instead of stdout")
+
+    trace = sub.add_parser(
+        "trace-fault",
+        help="deep-dive one injection: corruption lineage, divergence, "
+        "masking and output geometry",
+    )
+    trace.add_argument("kernel", help="kernel key, e.g. gemm.k1")
+    trace.add_argument(
+        "site",
+        help="fault site as printed by reports/logs: t<T>/i<D>/b<B>, "
+        "ioa:t<T>/i<D>/b<B> or rf:t<T>/i<D>/<REG>/b<B>",
+    )
+    trace.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="interpreter",
+        help="execution backend for the classification and the trace",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the raw record as JSON"
+    )
 
     bench = sub.add_parser(
         "bench-check",
@@ -188,6 +243,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: repro.observe.history.DEFAULT_TOLERANCE)",
     )
     bench.add_argument("--suite", default=None, help="check one suite only")
+    bench.add_argument(
+        "--host",
+        default=None,
+        help="check against baselines recorded for HOST instead of this "
+        "machine's hostname (e.g. a stable CI runner label)",
+    )
     bench.add_argument(
         "--advisory",
         action="store_true",
@@ -208,6 +269,7 @@ def _checkpoint_kwargs(args) -> dict:
         "checkpoint_interval": interval,
         "checkpoint_budget_mb": args.checkpoint_budget_mb,
         "backend": args.backend,
+        "propagation": args.propagation,
     }
 
 
@@ -277,6 +339,8 @@ def cmd_list(args) -> int:
 def cmd_profile(args) -> int:
     telemetry = _make_telemetry(args)
     manifest = None
+    if args.audit_groups:
+        args.propagation = True  # signatures are the audited quantity
     if args.manifest:
         manifest = RunManifest.create(
             kernel=args.kernel,
@@ -289,6 +353,8 @@ def cmd_profile(args) -> int:
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
                 "backend": args.backend,
+                "propagation": args.propagation,
+                "audit_groups": args.audit_groups,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -311,6 +377,21 @@ def cmd_profile(args) -> int:
           f"{space.n_injections:,} injections "
           f"({space.reduction_factor():,.0f}x)")
     print(profile)
+    if args.audit_groups:
+        from .faults import run_coherence_audit
+
+        audit = run_coherence_audit(injector, max_groups=args.audit_groups)
+        print(
+            f"coherence audit: {len(audit.groups)} group(s), "
+            f"agreement {audit.agreement:.1%}"
+        )
+        for group in audit.incoherent_groups:
+            print(
+                f"  {group.group} (icnt {group.icnt},"
+                f" {group.n_threads} threads):"
+                f" agreement {group.agreement:.1%},"
+                f" {len(group.mismatches)} mismatching probe(s)"
+            )
     _finish_manifest(manifest, telemetry, t0, profile=profile, path=args.manifest)
     return 0
 
@@ -452,7 +533,23 @@ def _emit(text: str, out: str | None) -> None:
 def cmd_report(args) -> int:
     import os
 
+    if args.diff is not None:
+        from .observe import diff_reports, load_report_json, render_diff_text
+
+        diff = diff_reports(
+            load_report_json(args.diff[0]), load_report_json(args.diff[1])
+        )
+        if args.format == "json":
+            _emit(json.dumps(diff, indent=1, sort_keys=True) + "\n", args.out)
+        else:
+            _emit(render_diff_text(diff), args.out)
+        return 0
+
     targets = list(args.target)
+    if not targets:
+        from .errors import ReproError
+
+        raise ReproError("report needs telemetry files, a kernel key, or --diff A B")
     if all(os.path.exists(t) for t in targets):
         from .observe import (
             build_report,
@@ -463,7 +560,7 @@ def cmd_report(args) -> int:
         )
 
         log = load_campaign(targets, manifest_paths=args.manifest)
-        report = build_report(log)
+        report = build_report(log, propagation=args.propagation)
         renderer = {
             "text": render_text,
             "json": render_json,
@@ -491,12 +588,33 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_trace_fault(args) -> int:
+    from .faults import FaultSite, parse_site
+    from .observe import render_trace_text
+
+    site = parse_site(args.site)
+    injector = FaultInjector(
+        load_instance(args.kernel), backend=args.backend, propagation=True
+    )
+    if isinstance(site, FaultSite):
+        outcome = injector.inject(site)
+    else:
+        outcome = injector.inject_spec(site.thread, site.spec(), label=str(site))
+    record = injector.propagation_records[-1]
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(f"{args.kernel} {site}: {outcome.value}")
+        print(render_trace_text(record.to_dict()), end="")
+    return 0
+
+
 def cmd_bench_check(args) -> int:
     from .observe.history import DEFAULT_TOLERANCE, check_history
 
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     findings = check_history(
-        args.results_dir, tolerance=tolerance, suite=args.suite
+        args.results_dir, tolerance=tolerance, suite=args.suite, host=args.host
     )
     regressions = [f for f in findings if f["status"] == "regression"]
     if args.json:
@@ -538,6 +656,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_metrics(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "trace-fault":
+        return cmd_trace_fault(args)
     if args.command == "bench-check":
         return cmd_bench_check(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -1,17 +1,25 @@
 """Fault-injection framework (single-bit flips in destination registers)."""
 
+from .audit import CoherenceAudit, GroupAudit, SiteProbe, run_coherence_audit
 from .campaign import CampaignResult, exhaustive_campaign, random_campaign, run_campaign
 from .injector import ADDRESS_BITS, DEFAULT_HANG_FACTOR, FaultInjector, GoldenState
 from .model import FaultModel, InjectionSpec, RegisterFileSite, StoreAddressSite
 from .outcome import CATEGORIES, Outcome, ResilienceProfile
 from .persistence import load_campaign, save_campaign
+from .propagation import PropagationRecord, PropagationTracer
 from .severity import InjectionRecord, SeverityInjector
-from .site import FaultSite
+from .site import FaultSite, parse_site
 from .space import FaultSpace
 
 __all__ = [
     "CATEGORIES",
     "CampaignResult",
+    "CoherenceAudit",
+    "GroupAudit",
+    "PropagationRecord",
+    "PropagationTracer",
+    "SiteProbe",
+    "run_coherence_audit",
     "DEFAULT_HANG_FACTOR",
     "FaultInjector",
     "FaultSite",
@@ -27,6 +35,7 @@ __all__ = [
     "SeverityInjector",
     "exhaustive_campaign",
     "load_campaign",
+    "parse_site",
     "random_campaign",
     "run_campaign",
     "save_campaign",

@@ -1,0 +1,219 @@
+"""Pruning-group coherence auditing.
+
+Thread-wise pruning (paper Section III) injects only into one
+*representative* thread per group and multiplies its outcomes by the
+group's site weight — asserting that every member thread would have
+behaved the same.  With only outcome labels that assertion is
+unfalsifiable in practice: two members can both report "SDC" while
+corrupting entirely different outputs through entirely different paths.
+
+The audit makes the assertion testable.  For a sample of groups it
+re-injects the *same* (dynamic index, bit) sites into several member
+threads and compares their propagation **signatures**
+(:meth:`~repro.faults.propagation.PropagationRecord.signature` — first
+corrupted PC, control-flow fate, masking bucket, escape behaviour,
+outcome, output-magnitude bucket).  Members of a coherent group agree on
+every audited site; the per-group *agreement rate* is the fraction of
+(site, member) probes whose signature matches the representative's.
+
+Audited injections run through the normal classification ladder with the
+injector's ``injection_group`` tag set, so when telemetry is enabled the
+resulting :class:`~repro.telemetry.InjectionEvent` stream carries
+group-tagged propagation payloads — the raw material for the coherence
+section of ``repro report --propagation``.
+
+The audit is a serial, in-process diagnostic: it needs the group tag on
+the injector, which deliberately does not cross the process pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FaultInjectionError, ReproError
+from .model import InjectionSpec
+
+
+@dataclass(frozen=True)
+class SiteProbe:
+    """One audited (member, site) injection."""
+
+    thread: int
+    dyn_index: int
+    bit: int
+    signature: str  # "invalid" when the injection could not fire
+
+
+@dataclass(frozen=True)
+class GroupAudit:
+    """Coherence verdict for one pruned thread group."""
+
+    group: str  # tag stamped on the emitted events ("g<N>")
+    icnt: int
+    n_threads: int  # full group size
+    members: tuple[int, ...]  # threads actually probed (rep first)
+    probes: tuple[SiteProbe, ...]
+    agreement: float  # probes matching the representative / probes
+    mismatches: tuple[SiteProbe, ...] = ()
+
+    @property
+    def coherent(self) -> bool:
+        return self.agreement == 1.0
+
+
+@dataclass
+class CoherenceAudit:
+    """The full audit: one :class:`GroupAudit` per sampled group."""
+
+    groups: list[GroupAudit] = field(default_factory=list)
+
+    @property
+    def agreement(self) -> float:
+        """Probe-weighted overall agreement rate."""
+        probed = sum(len(g.probes) for g in self.groups)
+        if not probed:
+            return 1.0
+        agreed = sum(g.agreement * len(g.probes) for g in self.groups)
+        return agreed / probed
+
+    @property
+    def incoherent_groups(self) -> list[GroupAudit]:
+        return [g for g in self.groups if not g.coherent]
+
+    def to_dict(self) -> dict:
+        return {
+            "agreement": self.agreement,
+            "n_groups": len(self.groups),
+            "n_incoherent": len(self.incoherent_groups),
+            "groups": [
+                {
+                    "group": g.group,
+                    "icnt": g.icnt,
+                    "n_threads": g.n_threads,
+                    "members": list(g.members),
+                    "n_probes": len(g.probes),
+                    "agreement": g.agreement,
+                    "mismatches": [
+                        {
+                            "thread": m.thread,
+                            "dyn_index": m.dyn_index,
+                            "bit": m.bit,
+                            "signature": m.signature,
+                        }
+                        for m in g.mismatches
+                    ],
+                }
+                for g in self.groups
+            ],
+        }
+
+
+def _spread(values: list, count: int) -> list:
+    """Up to ``count`` elements, evenly spaced, endpoints included."""
+    if len(values) <= count:
+        return list(values)
+    if count == 1:
+        return [values[0]]
+    step = (len(values) - 1) / (count - 1)
+    return [values[round(i * step)] for i in range(count)]
+
+
+def run_coherence_audit(
+    injector,
+    thread_groups=None,
+    *,
+    members_per_group: int = 2,
+    sites_per_group: int = 3,
+    max_groups: int | None = None,
+) -> CoherenceAudit:
+    """Probe pruned thread groups for propagation-signature agreement.
+
+    ``thread_groups`` defaults to a fresh thread-wise pruning of the
+    injector's own traces.  Per multi-member group, up to
+    ``members_per_group`` threads (the representative plus evenly spaced
+    others) each receive the same ``sites_per_group`` injections —
+    evenly spaced faultable dynamic indices of the representative, low
+    and high bit alternating so shallow and steep corruptions are both
+    sampled.  Requires a propagation-enabled injector: signatures *are*
+    the audited quantity.
+    """
+    if not injector.propagation:
+        raise ReproError(
+            "coherence audit requires a propagation-enabled injector "
+            "(FaultInjector(..., propagation=True))"
+        )
+    if thread_groups is None:
+        from ..pruning import prune_threads
+
+        thread_groups = prune_threads(
+            injector.traces, injector.instance.geometry
+        ).thread_groups
+
+    audit = CoherenceAudit()
+    eligible = [g for g in thread_groups if len(g.threads) > 1]
+    if max_groups is not None:
+        eligible = _spread(eligible, max_groups)
+    for gid, group in enumerate(eligible):
+        rep = group.representative
+        others = [t for t in group.threads if t != rep]
+        members = [rep] + _spread(others, max(0, members_per_group - 1))
+        trace = injector.traces[rep]
+        faultable = [d for d, (_pc, width) in enumerate(trace) if width]
+        if not faultable:
+            continue
+        sites = []
+        for pick, dyn in enumerate(_spread(faultable, sites_per_group)):
+            width = trace[dyn][1]
+            sites.append((dyn, 0 if pick % 2 == 0 else width - 1))
+        tag = f"g{gid}"
+        probes: list[SiteProbe] = []
+        injector.injection_group = tag
+        try:
+            for thread in members:
+                for dyn, bit in sites:
+                    member_trace = injector.traces[thread]
+                    if dyn >= len(member_trace) or bit >= member_trace[dyn][1]:
+                        # The member's aligned instruction cannot host this
+                        # flip — itself a coherence violation worth flagging.
+                        probes.append(SiteProbe(thread, dyn, bit, "invalid"))
+                        continue
+                    records_before = len(injector.propagation_records)
+                    try:
+                        injector.inject_spec(thread, InjectionSpec(dyn, bit))
+                    except FaultInjectionError:
+                        probes.append(SiteProbe(thread, dyn, bit, "invalid"))
+                        continue
+                    record = injector.propagation_records[records_before]
+                    probes.append(
+                        SiteProbe(thread, dyn, bit, record.signature())
+                    )
+        finally:
+            injector.injection_group = None
+        reference = {
+            (p.dyn_index, p.bit): p.signature
+            for p in probes
+            if p.thread == rep
+        }
+        comparable = [p for p in probes if p.thread != rep]
+        mismatches = tuple(
+            p
+            for p in comparable
+            if p.signature != reference.get((p.dyn_index, p.bit))
+        )
+        agreement = (
+            1.0
+            if not comparable
+            else 1.0 - len(mismatches) / len(comparable)
+        )
+        audit.groups.append(
+            GroupAudit(
+                group=tag,
+                icnt=group.icnt,
+                n_threads=len(group.threads),
+                members=tuple(members),
+                probes=tuple(probes),
+                agreement=agreement,
+                mismatches=mismatches,
+            )
+        )
+    return audit

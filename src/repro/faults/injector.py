@@ -118,12 +118,23 @@ class FaultInjector:
         checkpoint_budget_mb: float = DEFAULT_BUDGET_MB,
         backend: str = "interpreter",
         golden: GoldenState | None = None,
+        propagation: bool = False,
     ) -> None:
         self.instance = instance
         self.hang_factor = hang_factor
         self.thread_slicing = thread_slicing  # the requested flag, as given
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.backend = backend
+        #: Provenance tracing: every classified injection also gets a
+        #: diagnostic replay producing a :class:`PropagationRecord`
+        #: (see ``repro.faults.propagation``).  Off by default; the
+        #: disabled cost is one attribute check per injection.
+        self.propagation = propagation
+        self.propagation_records: list = []
+        #: Pruning-group tag stamped onto emitted events/records while
+        #: set (used by the coherence audit); None outside audits.
+        self.injection_group: str | None = None
+        self._tracer = None  # built lazily on the first traced injection
         self._launcher = GPUSimulator(telemetry=self.telemetry, backend=backend)
         self.checkpoint_budget_mb = checkpoint_budget_mb
         # Thread slicing is sound only for CTAs whose threads provably do
@@ -302,16 +313,27 @@ class FaultInjector:
         """Classify one injection of any fault model (fast path)."""
         telemetry = self.telemetry
         if not telemetry.enabled:
-            return self._run_spec(thread, spec, label)
+            outcome = self._run_spec(thread, spec, label)
+            if self.propagation:
+                self._trace_propagation(thread, spec, outcome)
+            return outcome
         t0 = time.perf_counter()
         fallbacks_before = self.fallback_count
         instructions = telemetry.metrics.counter("sim.instructions")
         instructions_before = instructions.value
         prev_phases = telemetry.phases
         telemetry.phases = phases = {}
+        record = None
         try:
             with telemetry.span("injection"):
                 outcome = self._run_spec(thread, spec, label)
+                # Counter delta snapshots the *classifying* run before the
+                # diagnostic replay (which uses a NULL_TELEMETRY simulator
+                # and must never show up in campaign attribution).
+                suffix_instructions = instructions.value - instructions_before
+                if self.propagation:
+                    with telemetry.phase("propagation_trace"):
+                        record = self._trace_propagation(thread, spec, outcome)
         finally:
             telemetry.phases = prev_phases
         self._record_injection(
@@ -321,7 +343,8 @@ class FaultInjector:
             fast_path=self.fallback_count == fallbacks_before,
             duration_s=time.perf_counter() - t0,
             phases=phases,
-            suffix_instructions=instructions.value - instructions_before,
+            suffix_instructions=suffix_instructions,
+            propagation=record,
         )
         return outcome
 
@@ -585,22 +608,31 @@ class FaultInjector:
         """Classify one injection via the reference full re-execution."""
         telemetry = self.telemetry
         if not telemetry.enabled:
-            return self._run_spec_full(thread, spec, label)
+            outcome = self._run_spec_full(thread, spec, label)
+            if self.propagation:
+                self._trace_propagation(thread, spec, outcome)
+            return outcome
         t0 = time.perf_counter()
         instructions = telemetry.metrics.counter("sim.instructions")
         instructions_before = instructions.value
         prev_phases = telemetry.phases
         telemetry.phases = phases = {}
+        record = None
         try:
             with telemetry.span("injection"):
                 outcome = self._run_spec_full(thread, spec, label)
+                suffix_instructions = instructions.value - instructions_before
+                if self.propagation:
+                    with telemetry.phase("propagation_trace"):
+                        record = self._trace_propagation(thread, spec, outcome)
         finally:
             telemetry.phases = prev_phases
         self._record_injection(
             thread, spec, outcome, fast_path=False,
             duration_s=time.perf_counter() - t0,
             phases=phases,
-            suffix_instructions=instructions.value - instructions_before,
+            suffix_instructions=suffix_instructions,
+            propagation=record,
         )
         return outcome
 
@@ -720,6 +752,7 @@ class FaultInjector:
         duration_s: float,
         phases: dict[str, float] | None = None,
         suffix_instructions: int = 0,
+        propagation=None,
     ) -> None:
         """Counters + one :class:`InjectionEvent` per classified injection."""
         telemetry = self.telemetry
@@ -732,6 +765,8 @@ class FaultInjector:
         if phases:
             for name, seconds in phases.items():
                 telemetry.observe(f"phase.{name}_s", seconds)
+        if propagation is not None:
+            telemetry.count("propagation.traced")
         telemetry.emit(
             InjectionEvent(
                 time.time(),
@@ -746,8 +781,22 @@ class FaultInjector:
                 checkpoint_interval=self.checkpoint_interval,
                 suffix_instructions=suffix_instructions,
                 phases=phases or None,
+                propagation=propagation.to_dict() if propagation else None,
+                group=self.injection_group,
             )
         )
+
+    def _trace_propagation(self, thread: int, spec: InjectionSpec, outcome):
+        """Diagnostic replay of one classified injection (tracer is lazy:
+        campaigns that never enable tracing pay nothing)."""
+        tracer = self._tracer
+        if tracer is None:
+            from .propagation import PropagationTracer
+
+            tracer = self._tracer = PropagationTracer(self)
+        record = tracer.trace(thread, spec, outcome)
+        self.propagation_records.append(record)
+        return record
 
     def _check_site(self, site: FaultSite) -> None:
         if not 0 <= site.thread < len(self.traces):

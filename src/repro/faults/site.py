@@ -4,11 +4,18 @@ The paper identifies a fault site by (thread id, dynamic instruction id,
 destination-register bit position) — Section II-C.  Sites only exist where
 the dynamic instruction actually writes a destination (predicated-off
 slots and stores contribute zero bits to Eq. 1).
+
+:func:`parse_site` inverts the ``str()`` forms of all three site kinds
+(``t0/i5/b3``, ``ioa:t0/i5/b3``, ``rf:t0/i5/R1/b3``) so CLI commands can
+accept a site exactly as reports and logs print it.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+
+from ..errors import ReproError
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -21,3 +28,34 @@ class FaultSite:
 
     def __str__(self) -> str:
         return f"t{self.thread}/i{self.dyn_index}/b{self.bit}"
+
+
+_IOV_RE = re.compile(r"^t(\d+)/i(\d+)/b(\d+)$")
+_IOA_RE = re.compile(r"^ioa:t(\d+)/i(\d+)/b(\d+)$")
+_RF_RE = re.compile(r"^rf:t(\d+)/i(\d+)/([A-Za-z_]\w*)/b(\d+)$")
+
+
+def parse_site(text: str):
+    """Parse any site's ``str()`` form back into the site object.
+
+    Returns a :class:`FaultSite`, :class:`~repro.faults.model.StoreAddressSite`
+    or :class:`~repro.faults.model.RegisterFileSite` according to the
+    (optional) model prefix.
+    """
+    from .model import RegisterFileSite, StoreAddressSite
+
+    text = text.strip()
+    match = _IOV_RE.match(text)
+    if match:
+        return FaultSite(*(int(g) for g in match.groups()))
+    match = _IOA_RE.match(text)
+    if match:
+        return StoreAddressSite(*(int(g) for g in match.groups()))
+    match = _RF_RE.match(text)
+    if match:
+        thread, dyn_index, reg, bit = match.groups()
+        return RegisterFileSite(int(thread), int(dyn_index), reg, int(bit))
+    raise ReproError(
+        f"cannot parse fault site {text!r} (expected t<T>/i<D>/b<B>, "
+        "ioa:t<T>/i<D>/b<B> or rf:t<T>/i<D>/<REG>/b<B>)"
+    )

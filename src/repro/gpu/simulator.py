@@ -215,6 +215,7 @@ class GPUSimulator:
         injection: tuple | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         checkpoint: CheckpointPlan | None = None,
+        step_trace: tuple | None = None,
     ) -> LaunchResult:
         """Run ``program`` over ``geometry``.
 
@@ -239,6 +240,13 @@ class GPUSimulator:
                 capture snapshots along the golden prefix.  The caller owns
                 the heap contract: a resumed run's heap must already hold
                 the golden write prefix up to the snapshot.
+            step_trace: ``(global_thread_id, sink)`` — observe that one
+                thread at *every* dynamic instruction via the existing
+                checkpoint-sink plumbing (``sink(dyn, pc, regs)`` fires at
+                the loop head, before the instruction at ``dyn`` issues
+                and before any register-file flip).  Powers the
+                propagation tracer; exclusive with ``checkpoint`` because
+                both ride the same per-context sink slot.
         """
         if len(param_bytes) != program.param_bytes:
             raise SimulatorError(
@@ -273,6 +281,11 @@ class GPUSimulator:
             raise SimulatorError(f"CTA {only_cta} outside grid")
         if checkpoint is not None and only_thread is None and only_cta is None:
             raise SimulatorError("checkpoint plans require a sliced run")
+        if step_trace is not None:
+            if checkpoint is not None:
+                raise SimulatorError("step_trace and checkpoint plans are exclusive")
+            if not 0 <= step_trace[0] < geometry.n_threads:
+                raise SimulatorError(f"step_trace thread {step_trace[0]} outside grid")
 
         traces: list[ThreadTrace] | None = None
         trace_map: dict[int, ThreadTrace] = {}
@@ -363,6 +376,13 @@ class GPUSimulator:
                             self._context_pool.clear()
                         self._context_pool[key] = (program, ctx)
                     threads.append(ctx)
+                if step_trace is not None:
+                    for slot, ctx in zip(slots, threads):
+                        if cta * tpc + slot == step_trace[0]:
+                            # every=1 on the absolute dyn grid, alive for
+                            # the whole run — per-instruction observation
+                            # with zero hot-loop changes.
+                            ctx.plan_checkpoints(1, max_steps, step_trace[1])
                 barrier_hook = None
                 rounds_start = 0
                 skipped = 0

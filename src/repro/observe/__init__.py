@@ -10,12 +10,20 @@ package is the read side:
   profile with Wilson CIs, per-phase latency attribution, depth-tertile
   splits, checkpoint and compiled-chain cache efficiency, per-worker
   load balance and straggler sites, pruning funnel;
+* :mod:`~repro.observe.propagation` — aggregate per-injection
+  propagation records into the PC vulnerability map, masking-depth
+  histograms, SDC signatures and pruning-group coherence sections
+  (``repro report --propagation``, ``repro trace-fault``);
 * :mod:`~repro.observe.render` — render a report as text, markdown or
   JSON (the ``repro report`` CLI command);
+* :mod:`~repro.observe.diff` — compare two report JSONs side by side
+  (``repro report --diff A B``);
 * :mod:`~repro.observe.history` — machine-readable benchmark history
-  with tolerance-band regression checking (``repro bench-check``).
+  with host-keyed, tolerance-band regression checking
+  (``repro bench-check``).
 """
 
+from .diff import diff_reports, load_report_json, render_diff_text
 from .history import (
     HISTORY_SCHEMA_VERSION,
     append_history,
@@ -24,6 +32,7 @@ from .history import (
     write_suite_snapshot,
 )
 from .loader import CampaignLog, load_campaign
+from .propagation import build_propagation_section, render_trace_text
 from .render import render_json, render_markdown, render_text
 from .report import build_report
 
@@ -31,12 +40,17 @@ __all__ = [
     "HISTORY_SCHEMA_VERSION",
     "CampaignLog",
     "append_history",
+    "build_propagation_section",
     "build_report",
     "check_history",
+    "diff_reports",
     "load_campaign",
     "load_history",
+    "load_report_json",
+    "render_diff_text",
     "render_json",
     "render_markdown",
     "render_text",
+    "render_trace_text",
     "write_suite_snapshot",
 ]

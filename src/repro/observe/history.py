@@ -10,11 +10,20 @@ is the median of all prior observations, and the newest observation must
 stay inside a tolerance band around it (direction-aware — ``lower`` means
 smaller is better, e.g. seconds; ``higher`` means larger is better, e.g.
 speedup factors).  Single-observation series pass as ``no-baseline``.
+
+Baselines are **host-keyed**: each record carries the hostname it was
+measured on, and ``check_history`` only builds series from records of
+the checking host (``--host`` overrides, e.g. a stable label for a CI
+runner pool).  Timings accumulated on one machine never gate runs on
+different hardware.  Records written before the host field existed act
+as wildcards — they seed the baseline on every host rather than
+invalidating existing history.
 """
 
 from __future__ import annotations
 
 import json
+import platform
 import time
 from pathlib import Path
 
@@ -45,11 +54,15 @@ def append_history(
     unit: str = "",
     direction: str = "lower",
     config: dict | None = None,
+    host: str | None = None,
 ) -> dict:
     """Append one normalized benchmark observation; returns the record.
 
     Also refreshes the suite's ``BENCH_<suite>.json`` snapshot so the
-    latest numbers are greppable without replaying the JSONL.
+    latest numbers are greppable without replaying the JSONL.  ``host``
+    defaults to this machine's hostname; pass a stable label when runs
+    from interchangeable machines (a CI runner pool) should share one
+    baseline.
     """
     if direction not in _DIRECTIONS:
         raise ReproError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
@@ -61,6 +74,7 @@ def append_history(
         "value": float(value),
         "unit": unit,
         "direction": direction,
+        "host": host if host is not None else platform.node(),
         "git_rev": git_revision(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "config": dict(config or {}),
@@ -141,6 +155,7 @@ def check_history(
     results_dir: str | Path,
     tolerance: float = DEFAULT_TOLERANCE,
     suite: str | None = None,
+    host: str | None = None,
 ) -> list[dict]:
     """Compare each series' newest observation against its history.
 
@@ -149,10 +164,28 @@ def check_history(
     ``baseline`` is the median of all observations before the newest.
     An empty history raises — a check against nothing is a misconfigured
     CI job, not a pass.
+
+    Series are restricted to records measured on ``host`` (default: this
+    machine) plus legacy records with no host field, which count for
+    every host.  A history that holds records for *other* hosts only
+    raises with the known hosts listed — silently passing because
+    another machine's numbers were ignored would defeat the gate.
     """
     records = load_history(results_dir, suite)
     if not records:
         raise ReproError(f"no benchmark history under {results_dir}")
+    wanted = host if host is not None else platform.node()
+    matching = [
+        r for r in records if r.get("host") is None or r.get("host") == wanted
+    ]
+    if not matching:
+        known = sorted({r.get("host") for r in records if r.get("host")})
+        raise ReproError(
+            f"no benchmark history for host {wanted!r} under {results_dir} "
+            f"(known hosts: {', '.join(known) or 'none'}); run the suite "
+            "here first or pass --host"
+        )
+    records = matching
     series: dict[tuple[str, str, str], list[dict]] = {}
     for record in records:
         key = (record["suite"], record["kernel"], record["metric"])

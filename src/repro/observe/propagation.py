@@ -1,0 +1,250 @@
+"""Campaign-level aggregation of fault-propagation provenance.
+
+Consumes the ``propagation`` payloads that a tracing-enabled campaign
+attaches to its :class:`~repro.telemetry.InjectionEvent` stream and
+distils them into the report's ``--propagation`` sections:
+
+* **PC vulnerability map** — per static instruction (the PC where the
+  corruption entered architectural state): outcome mix, SDC rate,
+  control-flow divergence rate, cross-CTA escape rate, and the mean
+  masking depth of the flips it absorbed;
+* **masking-depth histograms by fault model** — how many dynamic
+  instructions a corruption survives before draining, in log2 buckets,
+  split by fault model (value vs store-address vs register-file upsets
+  mask very differently);
+* **SDC pattern signatures** — the distinct propagation signatures
+  behind the campaign's SDCs, ranked by frequency: two SDCs sharing a
+  signature corrupted the same PC and propagated the same way;
+* **pruning-group coherence** — for group-tagged events (emitted by
+  :func:`~repro.faults.audit.run_coherence_audit`), the per-group
+  signature-agreement rate: the fraction of probes at each audited site
+  that match the site's modal signature.
+
+Everything here is pure aggregation over event dicts — no simulator
+access — so it works identically on live campaigns and on logs loaded
+from disk.
+"""
+
+from __future__ import annotations
+
+#: Distinct SDC signatures listed in the report (counts always cover all).
+MAX_SIGNATURE_ROWS = 10
+
+#: PC rows listed in the report, most-vulnerable first.
+MAX_PC_ROWS = 20
+
+
+def _depth_bucket(depth: int) -> str:
+    """Log2 bucket label for a masking depth (1, 2, 3-4, 5-8, ...)."""
+    if depth <= 1:
+        return "1"
+    exponent = (depth - 1).bit_length()
+    low = (1 << (exponent - 1)) + 1
+    high = 1 << exponent
+    return str(high) if low == high else f"{low}-{high}"
+
+
+def _pc_map(payloads: list[dict]) -> dict:
+    per_pc: dict[int, dict] = {}
+    for p in payloads:
+        row = per_pc.setdefault(
+            p["first_corrupted_pc"],
+            {"n": 0, "outcomes": {}, "diverged": 0, "escaped": 0, "depths": []},
+        )
+        row["n"] += 1
+        row["outcomes"][p["outcome"]] = row["outcomes"].get(p["outcome"], 0) + 1
+        if p.get("divergence_dyn") is not None:
+            row["diverged"] += 1
+        if p.get("escaped_cta"):
+            row["escaped"] += 1
+        if p.get("masking_depth") is not None:
+            row["depths"].append(p["masking_depth"])
+    rows = []
+    for pc, row in per_pc.items():
+        n = row["n"]
+        sdc = row["outcomes"].get("sdc", 0)
+        depths = row.pop("depths")
+        rows.append({
+            "pc": pc,
+            "n": n,
+            "outcomes": dict(sorted(row["outcomes"].items())),
+            "sdc_rate": sdc / n,
+            "diverged_rate": row["diverged"] / n,
+            "escaped_rate": row["escaped"] / n,
+            "mean_masking_depth": sum(depths) / len(depths) if depths else None,
+        })
+    # Most vulnerable first: SDC rate, then sample size, then PC for
+    # deterministic rendering.
+    rows.sort(key=lambda r: (-r["sdc_rate"], -r["n"], r["pc"]))
+    return {"n_pcs": len(rows), "rows": rows[:MAX_PC_ROWS]}
+
+
+def _masking_section(payloads: list[dict]) -> dict:
+    models: dict[str, dict] = {}
+    for p in payloads:
+        row = models.setdefault(
+            p.get("model", "iov"), {"buckets": {}, "unmasked": 0, "n": 0}
+        )
+        row["n"] += 1
+        depth = p.get("masking_depth")
+        if depth is None:
+            row["unmasked"] += 1
+        else:
+            bucket = _depth_bucket(depth)
+            row["buckets"][bucket] = row["buckets"].get(bucket, 0) + 1
+    for row in models.values():
+        # Buckets in ascending numeric order ("1", "2", "3-4", "5-8"...).
+        row["buckets"] = dict(
+            sorted(row["buckets"].items(), key=lambda kv: int(kv[0].split("-")[0]))
+        )
+    return dict(sorted(models.items()))
+
+
+def _signature_section(payloads: list[dict]) -> dict:
+    counts: dict[str, int] = {}
+    for p in payloads:
+        if p["outcome"] != "sdc":
+            continue
+        signature = p.get("signature") or "?"
+        counts[signature] = counts.get(signature, 0) + 1
+    total = sum(counts.values())
+    rows = [
+        {"signature": sig, "count": count, "share": count / total}
+        for sig, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return {
+        "n_sdc": total,
+        "n_signatures": len(rows),
+        "rows": rows[:MAX_SIGNATURE_ROWS],
+    }
+
+
+def _coherence_section(events) -> dict | None:
+    """Per-group signature agreement from group-tagged injection events."""
+    groups: dict[str, dict] = {}
+    for event in events:
+        if not event.group or not event.propagation:
+            continue
+        group = groups.setdefault(
+            event.group, {"sites": {}, "threads": set()}
+        )
+        group["threads"].add(event.thread)
+        site = (event.dyn_index, event.bit)
+        signature = event.propagation.get("signature") or "?"
+        group["sites"].setdefault(site, []).append(signature)
+    if not groups:
+        return None
+    rows = []
+    total_probes = total_agreed = 0
+    for tag in sorted(groups, key=lambda t: (len(t), t)):
+        group = groups[tag]
+        probes = agreed = 0
+        disagreeing_sites = []
+        for site, signatures in sorted(group["sites"].items()):
+            modal = max(set(signatures), key=signatures.count)
+            matching = sum(1 for s in signatures if s == modal)
+            probes += len(signatures)
+            agreed += matching
+            if matching != len(signatures):
+                disagreeing_sites.append(
+                    {"dyn_index": site[0], "bit": site[1],
+                     "signatures": sorted(set(signatures))}
+                )
+        total_probes += probes
+        total_agreed += agreed
+        rows.append({
+            "group": tag,
+            "members": len(group["threads"]),
+            "sites": len(group["sites"]),
+            "probes": probes,
+            "agreement": agreed / probes if probes else 1.0,
+            "disagreements": disagreeing_sites,
+        })
+    return {
+        "overall": total_agreed / total_probes if total_probes else 1.0,
+        "n_groups": len(rows),
+        "rows": rows,
+    }
+
+
+def build_propagation_section(log) -> dict | None:
+    """The report's ``propagation`` section; None when nothing was traced."""
+    payloads = [e.propagation for e in log.injections if e.propagation]
+    coherence = _coherence_section(log.injections)
+    if not payloads and coherence is None:
+        return None
+    return {
+        "n_traced": len(payloads),
+        "pc_map": _pc_map(payloads) if payloads else None,
+        "masking": _masking_section(payloads) if payloads else None,
+        "signatures": _signature_section(payloads) if payloads else None,
+        "coherence": coherence,
+    }
+
+
+def render_trace_text(record: dict) -> str:
+    """Human-readable deep dive for ``repro trace-fault`` (one record)."""
+    lines = [
+        f"propagation trace — thread {record['thread']}"
+        f" / dyn {record['dyn_index']} / bit {record['bit']}"
+        f" ({record['model']})",
+        f"  outcome: {record['outcome']}"
+        f"   replay: {record['replay_outcome']}"
+        f"   backend: {record['backend']}",
+        f"  first corrupted PC: {record['first_corrupted_pc']}",
+        f"  signature: {record['signature']}",
+    ]
+    if record.get("divergence_dyn") is not None:
+        lines.append(
+            f"  control flow diverged at dyn {record['divergence_dyn']}"
+            f" (pc {record['divergence_pc']})"
+        )
+    else:
+        lines.append("  control flow: followed the golden path")
+    depth = record.get("masking_depth")
+    if depth is not None:
+        lines.append(
+            f"  masked after {depth} dynamic instruction(s)"
+            f" (drained at dyn {record['masking_dyn']})"
+        )
+    else:
+        lines.append("  corruption never drained from the register set")
+    lines.append(
+        f"  register lineage: {record['n_corruption_events']} change(s),"
+        f" widest set {record['max_corrupted_regs']} register(s)"
+    )
+    for dyn, regs in record.get("corruption_events", [])[:12]:
+        shown = ",".join(regs) if regs else "(clean)"
+        lines.append(f"    dyn {dyn:>6}: {shown}")
+    remaining = record["n_corruption_events"] - len(
+        record.get("corruption_events", [])
+    )
+    if remaining > 0:
+        lines.append(f"    ... {remaining} further change(s) not recorded")
+    if record["heap_corrupt_bytes"]:
+        lines.append(
+            f"  heap: {record['heap_corrupt_bytes']} byte(s) corrupted,"
+            f" extent {record['heap_extent']},"
+            f" first at window offset {record['heap_first_offset']}"
+        )
+    else:
+        lines.append("  heap: no corrupted bytes")
+    escapes = []
+    if record.get("escaped_thread"):
+        escapes.append("crossed thread ownership")
+    if record.get("escaped_cta"):
+        escapes.append("crossed CTA ownership")
+    lines.append(f"  escape: {'; '.join(escapes) if escapes else 'contained'}")
+    if record["output_corrupt_bytes"]:
+        lines.append(
+            f"  output: {record['output_corrupt_bytes']} byte(s) corrupted,"
+            f" extent {record['output_extent']},"
+            f" max byte magnitude {record['output_max_magnitude']}"
+        )
+    else:
+        lines.append("  output: identical to golden")
+    lines.append(
+        f"  faulty thread executed {record['faulty_icnt']}"
+        " dynamic instruction(s)"
+    )
+    return "\n".join(lines) + "\n"

@@ -153,7 +153,80 @@ def render_text(report: dict) -> str:
                 f"  {row['stage']:<17s} {row['sites_before']:>9,d} ->"
                 f" {row['sites_after']:>9,d}  ({row['factor']:.1f}x)"
             )
+
+    propagation = report.get("propagation")
+    if propagation:
+        lines.extend(_propagation_text_lines(propagation))
     return "\n".join(lines) + "\n"
+
+
+def _propagation_text_lines(propagation: dict) -> list[str]:
+    lines: list[str] = []
+    pc_map = propagation.get("pc_map")
+    if pc_map:
+        lines.append("")
+        lines.append(
+            f"PC vulnerability map ({propagation['n_traced']} traced"
+            f" injections over {pc_map['n_pcs']} static instructions):"
+        )
+        lines.append(
+            "  pc        n    sdc%   div%   esc%   mean-mask"
+        )
+        for row in pc_map["rows"]:
+            depth = row["mean_masking_depth"]
+            mask = f"{depth:.1f}" if depth is not None else "-"
+            lines.append(
+                f"  {row['pc']:<7d} {row['n']:>4d}  {_pct(row['sdc_rate']):>6s}"
+                f" {_pct(row['diverged_rate']):>6s}"
+                f" {_pct(row['escaped_rate']):>6s}   {mask}"
+            )
+
+    masking = propagation.get("masking")
+    if masking:
+        lines.append("")
+        lines.append("masking depth by fault model (dynamic instructions to drain):")
+        for model, row in masking.items():
+            buckets = " ".join(
+                f"{label}:{count}" for label, count in row["buckets"].items()
+            )
+            lines.append(
+                f"  {model:<4s} n={row['n']:<6d}"
+                f" unmasked={row['unmasked']:<6d} {buckets}"
+            )
+
+    signatures = propagation.get("signatures")
+    if signatures and signatures["n_sdc"]:
+        lines.append("")
+        lines.append(
+            f"SDC propagation signatures ({signatures['n_signatures']}"
+            f" distinct over {signatures['n_sdc']} SDCs):"
+        )
+        for row in signatures["rows"]:
+            lines.append(
+                f"  {row['count']:>5d}  {_pct(row['share']):>6s}"
+                f"  {row['signature']}"
+            )
+
+    coherence = propagation.get("coherence")
+    if coherence:
+        lines.append("")
+        lines.append(
+            f"pruning-group coherence (overall agreement"
+            f" {_pct(coherence['overall'])} across"
+            f" {coherence['n_groups']} audited groups):"
+        )
+        for row in coherence["rows"]:
+            lines.append(
+                f"  {row['group']:<6s} members={row['members']:<3d}"
+                f" sites={row['sites']:<3d} probes={row['probes']:<4d}"
+                f" agreement={_pct(row['agreement'])}"
+            )
+            for site in row["disagreements"]:
+                lines.append(
+                    f"    i{site['dyn_index']}/b{site['bit']}:"
+                    f" {' vs '.join(site['signatures'])}"
+                )
+    return lines
 
 
 def render_markdown(report: dict) -> str:
@@ -261,6 +334,63 @@ def render_markdown(report: dict) -> str:
                 f"| {row['stage']} | {row['sites_before']:,} |"
                 f" {row['sites_after']:,} | {row['factor']:.1f}x |"
             )
+
+    propagation = report.get("propagation")
+    if propagation:
+        pc_map = propagation.get("pc_map")
+        if pc_map:
+            out += [
+                "", "## PC vulnerability map", "",
+                "| pc | n | sdc | diverged | escaped | mean mask depth |",
+                "|---|---|---|---|---|---|",
+            ]
+            for row in pc_map["rows"]:
+                depth = row["mean_masking_depth"]
+                mask = f"{depth:.1f}" if depth is not None else "-"
+                out.append(
+                    f"| {row['pc']} | {row['n']} | {_pct(row['sdc_rate'])} |"
+                    f" {_pct(row['diverged_rate'])} |"
+                    f" {_pct(row['escaped_rate'])} | {mask} |"
+                )
+        masking = propagation.get("masking")
+        if masking:
+            out += [
+                "", "## Masking depth by fault model", "",
+                "| model | n | unmasked | depth buckets |", "|---|---|---|---|",
+            ]
+            for model, row in masking.items():
+                buckets = " ".join(
+                    f"{label}:{count}" for label, count in row["buckets"].items()
+                )
+                out.append(
+                    f"| {model} | {row['n']} | {row['unmasked']} | {buckets} |"
+                )
+        signatures = propagation.get("signatures")
+        if signatures and signatures["n_sdc"]:
+            out += [
+                "", "## SDC signatures", "",
+                "| count | share | signature |", "|---|---|---|",
+            ]
+            for row in signatures["rows"]:
+                out.append(
+                    f"| {row['count']} | {_pct(row['share'])} |"
+                    f" `{row['signature']}` |"
+                )
+        coherence = propagation.get("coherence")
+        if coherence:
+            out += [
+                "",
+                f"## Pruning-group coherence "
+                f"({_pct(coherence['overall'])} agreement)",
+                "",
+                "| group | members | sites | probes | agreement |",
+                "|---|---|---|---|---|",
+            ]
+            for row in coherence["rows"]:
+                out.append(
+                    f"| {row['group']} | {row['members']} | {row['sites']} |"
+                    f" {row['probes']} | {_pct(row['agreement'])} |"
+                )
     return "\n".join(out) + "\n"
 
 

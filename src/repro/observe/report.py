@@ -12,7 +12,10 @@ tests consume the same structure.  Sections:
 * ``compiled``    — closure-chain bind-cache efficiency;
 * ``workers``     — per-worker utilisation and load imbalance;
 * ``stragglers``  — sites slower than the p99, with their phase splits;
-* ``funnel``      — the pruning-stage site funnel.
+* ``funnel``      — the pruning-stage site funnel;
+* ``propagation`` — PC vulnerability map, masking-depth histograms, SDC
+  signatures and pruning-group coherence (opt-in via ``propagation=True``;
+  needs a tracing-enabled campaign — see ``repro.observe.propagation``).
 
 Sections whose inputs were not recorded (no checkpoints, serial run, no
 stages) are present but ``None`` so renderers can skip them cleanly.
@@ -23,6 +26,7 @@ from __future__ import annotations
 from ..stats.intervals import wilson_ci
 from ..telemetry.events import PHASE_NAMES
 from .loader import CampaignLog
+from .propagation import build_propagation_section
 
 #: Straggler list length bound: enough to eyeball, short enough to print.
 MAX_STRAGGLERS = 10
@@ -234,7 +238,9 @@ def _straggler_section(log: CampaignLog) -> dict | None:
     }
 
 
-def build_report(log: CampaignLog, confidence: float = 0.95) -> dict:
+def build_report(
+    log: CampaignLog, confidence: float = 0.95, propagation: bool = False
+) -> dict:
     """Assemble the full campaign report dict from a loaded log."""
     injections = log.injections
     metrics = log.merged_metrics()
@@ -305,4 +311,7 @@ def build_report(log: CampaignLog, confidence: float = 0.95) -> dict:
             for s in log.stages
         ]
         or None,
+        # Opt-in: the key is always present (keeping untraced reports
+        # structurally stable) but only populated on request.
+        "propagation": build_propagation_section(log) if propagation else None,
     }

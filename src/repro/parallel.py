@@ -153,6 +153,9 @@ def _build_payload(injector: "FaultInjector") -> dict | None:
         "checkpoint_interval": injector.checkpoint_interval,
         "checkpoint_budget_mb": injector.checkpoint_budget_mb,
         "backend": injector.backend,
+        # Provenance tracing travels with the campaign: records stream
+        # back inside each worker's InjectionEvents (snapshot absorb).
+        "propagation": injector.propagation,
     }
     try:
         # Golden handoff: workers rebuild the final heap from these logs
@@ -200,6 +203,7 @@ def _init_worker(payload: dict) -> None:
         checkpoint_budget_mb=payload.get("checkpoint_budget_mb", 64.0),
         backend=payload.get("backend", "interpreter"),
         golden=golden,
+        propagation=payload.get("propagation", False),
     )
     _WORKER_TELEMETRY = telemetry
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -31,7 +32,9 @@ from ..errors import ReproError
 #: gains fields readers must understand; :class:`JsonlSink` stamps it on
 #: the header line and :func:`read_events` rejects files written by a
 #: *newer* schema (older files stay readable — new fields have defaults).
-EVENTS_SCHEMA_VERSION = 2
+#: v3 added the ``propagation`` payload and ``group`` tag on
+#: :class:`InjectionEvent` (fault-propagation provenance tracing).
+EVENTS_SCHEMA_VERSION = 3
 
 #: Per-injection phase names, in pipeline order.  ``InjectionEvent.phases``
 #: maps a subset of these to seconds spent (phases that did not occur —
@@ -43,6 +46,7 @@ PHASE_NAMES = (
     "suffix_exec",
     "heap_repair",
     "classify",
+    "propagation_trace",
 )
 
 
@@ -86,6 +90,11 @@ class InjectionEvent(TelemetryEvent):
     suffix_instructions: int = 0  # instructions actually executed (suffix only)
     phases: dict | None = None  # phase name -> seconds (see PHASE_NAMES)
     worker: str | None = None  # pool worker name; None when serial
+    #: Propagation-trace payload (PropagationRecord.to_dict()); None when
+    #: the injector ran without provenance tracing.
+    propagation: dict | None = None
+    #: Pruning-group tag stamped by the coherence audit; None otherwise.
+    group: str | None = None
 
 
 @dataclass(frozen=True)
@@ -146,24 +155,44 @@ def read_events(path: str | Path) -> list[TelemetryEvent]:
     is validated and skipped: files written by a *newer* schema than this
     library understands raise :class:`ReproError` rather than silently
     dropping fields.  Headerless (schema 1) files remain readable.
+
+    A malformed *final* line is tolerated with a warning: a worker killed
+    mid-write (OOM, SIGKILL, crashed campaign) leaves a truncated trailing
+    record behind, and every completed event before it is still worth a
+    report.  Malformed lines anywhere else indicate real corruption and
+    raise :class:`ReproError`.
     """
     events = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
+        lines = handle.readlines()
+    for lineno, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
             data = json.loads(line)
-            if "event" not in data and "schema" in data:
-                schema = data["schema"]
-                if not isinstance(schema, int) or schema > EVENTS_SCHEMA_VERSION:
-                    raise ReproError(
-                        f"event log {path} uses schema {schema!r}; this build "
-                        f"understands up to {EVENTS_SCHEMA_VERSION} — upgrade "
-                        "repro to read it"
-                    )
-                continue
-            events.append(event_from_dict(data))
+        except json.JSONDecodeError:
+            if any(rest.strip() for rest in lines[lineno + 1 :]):
+                raise ReproError(
+                    f"event log {path} is corrupt at line {lineno + 1}: "
+                    "not valid JSON"
+                ) from None
+            warnings.warn(
+                f"event log {path}: ignoring truncated trailing line "
+                f"{lineno + 1} (writer likely crashed mid-record)",
+                stacklevel=2,
+            )
+            break
+        if "event" not in data and "schema" in data:
+            schema = data["schema"]
+            if not isinstance(schema, int) or schema > EVENTS_SCHEMA_VERSION:
+                raise ReproError(
+                    f"event log {path} uses schema {schema!r}; this build "
+                    f"understands up to {EVENTS_SCHEMA_VERSION} — upgrade "
+                    "repro to read it"
+                )
+            continue
+        events.append(event_from_dict(data))
     return events
 
 

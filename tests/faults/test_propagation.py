@@ -1,0 +1,282 @@
+"""Fault-propagation provenance tracing: record semantics, backend and
+checkpoint equivalence, pool streaming, zero-interference discipline, and
+the pruning-group coherence audit."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import FaultInjector, load_instance, random_campaign
+from repro.errors import ReproError
+from repro.faults import parse_site, run_coherence_audit
+from repro.faults.model import InjectionSpec, RegisterFileSite, StoreAddressSite
+from repro.faults.propagation import PropagationRecord
+from repro.faults.site import FaultSite
+from repro.parallel import ParallelCampaignRunner
+from repro.telemetry import InjectionEvent, MemorySink, Telemetry
+
+from ..helpers import build_loop_sum_instance, build_saxpy_instance
+
+START_METHOD = os.environ.get("REPRO_TEST_START_METHOD") or None
+
+
+def sample_specs(injector, threads=(0,)):
+    """A deterministic spread of valid VALUE sites per thread."""
+    specs = []
+    for thread in threads:
+        trace = injector.traces[thread]
+        valid = [d for d, (_pc, width) in enumerate(trace) if width]
+        for dyn in (valid[0], valid[len(valid) // 2], valid[-1]):
+            for bit in (0, 14, 31):
+                specs.append((thread, InjectionSpec(dyn, bit)))
+    return specs
+
+
+def collect_records(injector, specs):
+    for thread, spec in specs:
+        injector.inject_spec(thread, spec)
+    return [r.to_dict() for r in injector.propagation_records]
+
+
+class TestRecordSemantics:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        injector = FaultInjector(build_saxpy_instance(), propagation=True)
+        specs = sample_specs(injector, threads=(0, 7))
+        collect_records(injector, specs)
+        return injector, specs
+
+    def test_every_injection_yields_one_record(self, traced):
+        injector, specs = traced
+        assert len(injector.propagation_records) == len(specs)
+
+    def test_first_corrupted_pc_is_the_flip_site_pc(self, traced):
+        injector, _ = traced
+        for record in injector.propagation_records:
+            assert (
+                record.first_corrupted_pc
+                == injector.traces[record.thread][record.dyn_index][0]
+            )
+
+    def test_masked_records_drain_or_die_unobserved(self, traced):
+        injector, _ = traced
+        masked = [
+            r for r in injector.propagation_records if r.outcome == "masked"
+        ]
+        assert masked
+        for record in masked:
+            # A masked injection never corrupts the output image.
+            assert record.output_corrupt_bytes == 0
+            if record.masking_dyn is not None:
+                assert record.masking_dyn > record.dyn_index
+                assert record.masking_depth >= 1
+
+    def test_sdc_records_carry_output_geometry(self, traced):
+        injector, _ = traced
+        sdcs = [r for r in injector.propagation_records if r.outcome == "sdc"]
+        assert sdcs
+        for record in sdcs:
+            assert record.output_corrupt_bytes > 0
+            assert record.output_extent >= 1
+            assert record.output_max_magnitude >= 1
+            assert f"out{record.output_corrupt_bytes.bit_length()}" in (
+                record.signature()
+            )
+
+    def test_corruption_events_start_after_the_flip(self, traced):
+        injector, _ = traced
+        for record in injector.propagation_records:
+            for dyn, regs in record.corruption_events:
+                assert dyn > record.dyn_index
+                assert regs == tuple(sorted(regs))
+
+    def test_round_trip_and_signature_stability(self, traced):
+        injector, _ = traced
+        for record in injector.propagation_records:
+            payload = record.to_dict()
+            restored = PropagationRecord.from_dict(payload)
+            assert restored.to_dict() == payload
+            assert restored.signature() == payload["signature"]
+
+    def test_divergent_record_points_into_the_faulty_path(self):
+        injector = FaultInjector(build_loop_sum_instance(), propagation=True)
+        trace = injector.traces[0]
+        valid = [d for d, (_pc, width) in enumerate(trace) if width]
+        diverged = None
+        for dyn in valid:
+            for bit in (0, 14, 30):
+                injector.inject_spec(0, InjectionSpec(dyn, bit))
+                record = injector.propagation_records[-1]
+                if record.diverged:
+                    diverged = record
+                    break
+            if diverged:
+                break
+        assert diverged is not None, "loop kernel must offer a CF divergence"
+        assert diverged.divergence_dyn > diverged.dyn_index
+        assert diverged.divergence_pc is not None
+        assert diverged.masking_dyn is None  # tracking stops at divergence
+        assert "|div|" in diverged.signature()
+
+
+class TestFaultModelTraces:
+    def test_store_address_and_rf_models_trace(self):
+        injector = FaultInjector(build_saxpy_instance(), propagation=True)
+        ioa = injector.store_address_sites(0)[0]
+        injector.inject_spec(ioa.thread, ioa.spec(), label=str(ioa))
+        assert injector.propagation_records[-1].model == "ioa"
+
+        import numpy as np
+
+        rf = injector.sample_register_file_sites(1, np.random.default_rng(3))[0]
+        injector.inject_spec(rf.thread, rf.spec(), label=str(rf))
+        record = injector.propagation_records[-1]
+        assert record.model == "rf"
+        assert record.outcome in ("masked", "sdc", "crash", "hang")
+
+
+class TestEquivalence:
+    """The tracer observes; it must never change what is observed."""
+
+    @pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+    def test_profiles_byte_identical_with_tracing(self, backend):
+        instance = build_saxpy_instance()
+        plain = FaultInjector(instance, backend=backend)
+        traced = FaultInjector(instance, backend=backend, propagation=True)
+        r_plain = random_campaign(plain, 24, rng=5)
+        r_traced = random_campaign(traced, 24, rng=5)
+        assert r_traced.outcomes == r_plain.outcomes
+        assert r_traced.profile.weights == r_plain.profile.weights
+        assert len(traced.propagation_records) == 24
+
+    def test_records_identical_across_backends_and_checkpoints(self):
+        instance = build_saxpy_instance()
+        reference = None
+        for backend in ("interpreter", "compiled"):
+            for interval in (0, 16):
+                injector = FaultInjector(
+                    instance,
+                    propagation=True,
+                    backend=backend,
+                    checkpoint_interval=interval,
+                )
+                records = collect_records(
+                    injector, sample_specs(injector, threads=(0, 7))
+                )
+                for record in records:
+                    record.pop("backend")
+                if reference is None:
+                    reference = records
+                else:
+                    assert records == reference, (backend, interval)
+
+    def test_tracer_does_not_pollute_campaign_metrics(self):
+        instance = build_saxpy_instance()
+
+        def instruction_count(propagation):
+            telemetry = Telemetry(sink=MemorySink())
+            injector = FaultInjector(
+                instance, telemetry=telemetry, propagation=propagation
+            )
+            random_campaign(injector, 12, rng=9)
+            return telemetry.metrics.counter("sim.instructions").value
+
+        assert instruction_count(True) == instruction_count(False)
+
+    def test_disabled_tracing_builds_no_tracer(self):
+        injector = FaultInjector(build_saxpy_instance())
+        random_campaign(injector, 6, rng=1)
+        assert injector._tracer is None
+        assert injector.propagation_records == []
+
+
+class TestPoolStreaming:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_records_stream_back_identically(self, workers):
+        def run(executor):
+            sink = MemorySink()
+            injector = FaultInjector(
+                build_saxpy_instance(),
+                propagation=True,
+                telemetry=Telemetry(sink=sink),
+            )
+            random_campaign(injector, 16, rng=7, executor=executor)
+            return sorted(
+                (e.thread, e.dyn_index, e.bit, e.propagation["signature"])
+                for e in sink.of_type(InjectionEvent)
+                if e.propagation
+            )
+
+        serial = run(None)
+        pooled = run(
+            ParallelCampaignRunner(workers, start_method=START_METHOD)
+        )
+        assert len(serial) == 16
+        assert pooled == serial
+
+
+class TestCoherenceAudit:
+    def test_requires_propagation(self):
+        injector = FaultInjector(build_saxpy_instance())
+        with pytest.raises(ReproError):
+            run_coherence_audit(injector)
+
+    def test_audit_probes_groups_and_tags_events(self):
+        sink = MemorySink()
+        injector = FaultInjector(
+            build_saxpy_instance(),
+            propagation=True,
+            telemetry=Telemetry(sink=sink),
+        )
+        audit = run_coherence_audit(
+            injector, members_per_group=3, sites_per_group=3
+        )
+        assert audit.groups
+        for group in audit.groups:
+            assert 0.0 <= group.agreement <= 1.0
+            assert group.members[0] not in group.members[1:]
+            assert len(group.probes) == len(group.members) * 3
+        assert 0.0 <= audit.agreement <= 1.0
+        tagged = [e for e in sink.of_type(InjectionEvent) if e.group]
+        assert tagged and all(e.propagation for e in tagged)
+        assert {e.group for e in tagged} == {g.group for g in audit.groups}
+        payload = audit.to_dict()
+        assert payload["n_groups"] == len(audit.groups)
+
+    def test_identical_members_agree_fully(self):
+        # saxpy threads within a group run the same code on different
+        # data; masked probes at bit 31 of dyn 0 are structurally alike,
+        # so at least one group/site must agree; and the audit's
+        # reference (the representative) always agrees with itself.
+        injector = FaultInjector(build_saxpy_instance(), propagation=True)
+        audit = run_coherence_audit(injector, members_per_group=2)
+        for group in audit.groups:
+            rep_probes = [p for p in group.probes if p.thread == group.members[0]]
+            assert all(p.signature != "" for p in rep_probes)
+
+    def test_group_registry_kernel_smoke(self):
+        injector = FaultInjector(
+            load_instance("pathfinder.k1"), propagation=True
+        )
+        audit = run_coherence_audit(
+            injector, members_per_group=2, sites_per_group=2, max_groups=1
+        )
+        assert len(audit.groups) == 1
+
+
+class TestParseSite:
+    def test_all_three_forms_round_trip(self):
+        for site in (
+            FaultSite(3, 40, 12),
+            StoreAddressSite(1, 5, 30),
+            RegisterFileSite(0, 9, "sum", 7),
+        ):
+            assert parse_site(str(site)) == site
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            parse_site("t1/i2")
+        with pytest.raises(ReproError):
+            parse_site("xyz:t0/i0/b0")

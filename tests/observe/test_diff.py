@@ -1,0 +1,189 @@
+"""Report diffing: loader validation, delta math, CI significance, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observe import (
+    build_report,
+    diff_reports,
+    load_campaign,
+    load_report_json,
+    render_diff_text,
+    render_json,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make_report(outcomes, *, kernel="demo.k1", latency=None, phases=None):
+    """A minimal report dict shaped like render_json output."""
+    total = sum(c for c, *_ in outcomes.values())
+    rows = []
+    for outcome, spec in outcomes.items():
+        count, ci = spec
+        rows.append({
+            "outcome": outcome,
+            "count": count,
+            "share": count / total,
+            "ci_low": ci[0] if ci else None,
+            "ci_high": ci[1] if ci else None,
+        })
+    report = {
+        "meta": {"kernel": kernel, "backends": ["compiled"],
+                 "n_injections": total},
+        "outcomes": rows,
+        "latency": latency,
+        "phases": phases,
+    }
+    return report
+
+
+class TestLoader:
+    def test_loads_real_report_json(self, tmp_path):
+        report = build_report(load_campaign([FIXTURES / "campaign.jsonl"]))
+        path = tmp_path / "a.json"
+        path.write_text(render_json(report))
+        loaded = load_report_json(path)
+        assert loaded["meta"]["n_injections"] == 12
+
+    def test_missing_file_fails_loudly(self):
+        with pytest.raises(ReproError, match="not found"):
+            load_report_json("/nonexistent/report.json")
+
+    def test_invalid_json_fails_loudly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_report_json(bad)
+
+    def test_non_report_json_fails_loudly(self, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ReproError, match="not a campaign report"):
+            load_report_json(other)
+
+
+class TestDeltaMath:
+    def test_share_deltas_and_counts(self):
+        a = make_report({"masked": (6, None), "sdc": (2, None)})
+        b = make_report({"masked": (4, None), "sdc": (4, None)})
+        diff = diff_reports(a, b)
+        rows = {r["outcome"]: r for r in diff["outcomes"]}
+        assert rows["sdc"]["delta"] == pytest.approx(0.5 - 0.25)
+        assert rows["sdc"]["count_a"] == 2 and rows["sdc"]["count_b"] == 4
+        assert rows["sdc"]["significant"] is None  # no CIs available
+
+    def test_outcome_only_in_one_report(self):
+        a = make_report({"masked": (8, None)})
+        b = make_report({"masked": (6, None), "hang": (2, None)})
+        rows = {r["outcome"]: r for r in diff_reports(a, b)["outcomes"]}
+        assert rows["hang"]["share_a"] == 0.0
+        assert rows["hang"]["count_a"] == 0
+        assert rows["hang"]["share_b"] == pytest.approx(0.25)
+
+    def test_disjoint_cis_are_significant(self):
+        a = make_report({"sdc": (2, (0.05, 0.20)), "masked": (8, (0.5, 0.9))})
+        b = make_report({"sdc": (6, (0.35, 0.80)), "masked": (4, (0.2, 0.6))})
+        rows = {r["outcome"]: r for r in diff_reports(a, b)["outcomes"]}
+        assert rows["sdc"]["ci_overlap"] is False
+        assert rows["sdc"]["significant"] is True
+        assert rows["masked"]["ci_overlap"] is True
+        assert rows["masked"]["significant"] is False
+
+    def test_latency_speedup_is_a_over_b(self):
+        latency_a = {"mean_s": 0.04, "p50_s": 0.03, "p99_s": 0.1, "max_s": 0.2}
+        latency_b = {"mean_s": 0.02, "p50_s": 0.015, "p99_s": 0.05,
+                     "max_s": 0.1}
+        a = make_report({"masked": (4, None)}, latency=latency_a)
+        b = make_report({"masked": (4, None)}, latency=latency_b)
+        latency = diff_reports(a, b)["latency"]
+        assert latency["speedup"] == pytest.approx(2.0)
+        assert latency["mean_s"]["delta"] == pytest.approx(-0.02)
+
+    def test_phase_deltas_union_both_sides(self):
+        phases_a = {"rows": [{"phase": "suffix_exec", "mean_s": 0.01}]}
+        phases_b = {"rows": [{"phase": "suffix_exec", "mean_s": 0.004},
+                             {"phase": "classify", "mean_s": 0.001}]}
+        a = make_report({"masked": (4, None)}, phases=phases_a)
+        b = make_report({"masked": (4, None)}, phases=phases_b)
+        phases = {r["phase"]: r for r in diff_reports(a, b)["phases"]}
+        assert phases["suffix_exec"]["delta"] == pytest.approx(-0.006)
+        assert phases["classify"]["mean_a"] == 0.0
+
+    def test_kernel_mismatch_is_flagged(self):
+        a = make_report({"masked": (4, None)}, kernel="gemm.k1")
+        b = make_report({"masked": (4, None)}, kernel="gaussian.k1")
+        meta = diff_reports(a, b)["meta"]
+        assert meta["same_kernel"] is False
+
+
+class TestRendering:
+    def test_verdicts_and_warning(self):
+        a = make_report({"sdc": (2, (0.05, 0.20)), "masked": (8, (0.5, 0.9)),
+                         "hang": (1, None)}, kernel="gemm.k1")
+        b = make_report({"sdc": (6, (0.35, 0.80)), "masked": (4, (0.2, 0.6)),
+                         "hang": (1, None)}, kernel="gaussian.k1")
+        text = render_diff_text(diff_reports(a, b))
+        assert "WARNING: reports cover different kernels" in text
+        assert "SIGNIFICANT (CIs disjoint)" in text
+        assert "within noise (CIs overlap)" in text
+        assert "no CI" in text
+
+    def test_latency_and_phase_sections_render(self):
+        latency = {"mean_s": 0.04, "p50_s": 0.03, "p99_s": 0.1, "max_s": 0.2}
+        phases = {"rows": [{"phase": "suffix_exec", "mean_s": 0.01}]}
+        a = make_report({"masked": (4, None)}, latency=latency, phases=phases)
+        text = render_diff_text(diff_reports(a, a))
+        assert "latency (mean speedup 1.00x):" in text
+        assert "suffix_exec" in text
+
+
+class TestDiffCli:
+    @pytest.fixture()
+    def report_files(self, tmp_path):
+        report = build_report(load_campaign([
+            FIXTURES / "campaign.jsonl", FIXTURES / "run.json",
+        ]))
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(render_json(report))
+        b.write_text(render_json(report))
+        return a, b
+
+    def test_diff_mode_renders_text(self, report_files, capsys):
+        from repro.__main__ import main
+
+        a, b = report_files
+        assert main(["report", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("report diff — A: pathfinder.k1")
+        assert "within noise (CIs overlap)" in out
+
+    def test_diff_json_format(self, report_files, capsys):
+        from repro.__main__ import main
+
+        a, b = report_files
+        assert main([
+            "report", "--diff", str(a), str(b), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["same_kernel"] is True
+        assert all(r["delta"] == 0.0 for r in payload["outcomes"])
+
+    def test_diff_missing_file_fails_loudly(self, report_files):
+        from repro.__main__ import main
+
+        a, _ = report_files
+        with pytest.raises(ReproError):
+            main(["report", "--diff", str(a), "/nonexistent.json"])
+
+    def test_report_without_targets_or_diff_fails(self):
+        from repro.__main__ import main
+
+        with pytest.raises(ReproError):
+            main(["report"])

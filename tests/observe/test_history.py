@@ -120,6 +120,69 @@ class TestCheck:
         }
 
 
+class TestHostKeying:
+    def test_records_are_stamped_with_this_host(self, tmp_path):
+        import platform
+
+        record = append_history(tmp_path, "s", "k", "m", 1.0)
+        assert record["host"] == platform.node()
+        explicit = append_history(tmp_path, "s", "k", "m", 1.0, host="ci-pool")
+        assert explicit["host"] == "ci-pool"
+
+    def test_other_hosts_records_are_ignored(self, tmp_path):
+        # Fast history on a beefy machine must not flag this host's runs.
+        for value in (1.0, 1.0):
+            append_history(tmp_path, "s", "k", "wall_s", value, host="beefy")
+        append_history(tmp_path, "s", "k", "wall_s", 5.0, host="beefy")
+        _seed(tmp_path, [5.0])  # this host's only (slower) observation
+        (finding,) = check_history(tmp_path)
+        assert finding["status"] == "no-baseline"
+        (finding,) = check_history(tmp_path, host="beefy")
+        assert finding["status"] == "regression"
+
+    def test_legacy_records_without_host_are_wildcards(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        legacy = {
+            "schema": HISTORY_SCHEMA_VERSION, "suite": "s", "kernel": "k",
+            "metric": "wall_s", "value": 1.0, "unit": "s",
+            "direction": "lower",
+        }
+        path.write_text(json.dumps(legacy) + "\n" + json.dumps(legacy) + "\n")
+        # A new host-stamped run joins the legacy series as its baseline.
+        append_history(tmp_path, "s", "k", "wall_s", 1.05)
+        (finding,) = check_history(tmp_path, tolerance=0.25)
+        assert finding["status"] == "ok"
+        assert finding["observations"] == 3
+
+    def test_unknown_host_fails_loudly_with_known_hosts(self, tmp_path):
+        append_history(tmp_path, "s", "k", "m", 1.0, host="runner-a")
+        append_history(tmp_path, "s", "k", "m", 1.0, host="runner-b")
+        with pytest.raises(ReproError, match="runner-a, runner-b"):
+            check_history(tmp_path, host="laptop")
+
+    def test_host_flag_on_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        append_history(tmp_path, "s", "k", "wall_s", 1.0, host="ci-pool")
+        append_history(tmp_path, "s", "k", "wall_s", 1.0, host="ci-pool")
+        assert main([
+            "bench-check", "--results-dir", str(tmp_path),
+            "--host", "ci-pool",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench-check", "--results-dir", str(tmp_path),
+            "--host", "ci-pool", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["status"] == "ok"
+        with pytest.raises(ReproError):
+            main([
+                "bench-check", "--results-dir", str(tmp_path),
+                "--host", "nowhere",
+            ])
+
+
 class TestBenchCheckCli:
     def test_exit_codes_and_advisory(self, tmp_path, capsys):
         from repro.__main__ import main

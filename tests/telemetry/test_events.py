@@ -135,3 +135,52 @@ class TestSchemaVersioning:
         path = tmp_path / "extra.jsonl"
         path.write_text(json.dumps(record) + "\n")
         assert read_events(path) == [SAMPLE_EVENTS[1]]
+
+
+class TestTruncationTolerance:
+    """A writer killed mid-record must not lose its completed events."""
+
+    def _write(self, path, events, trailing):
+        sink = JsonlSink(path)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        with open(path, "a") as handle:
+            handle.write(trailing)
+
+    def test_truncated_trailing_line_warns_and_keeps_events(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        self._write(path, SAMPLE_EVENTS,
+                    '{"event": "injection", "thread": 3, "dyn')
+        with pytest.warns(UserWarning, match="truncated trailing line"):
+            events = read_events(path)
+        assert events == SAMPLE_EVENTS
+
+    def test_trailing_junk_after_newline_also_tolerated(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        self._write(path, SAMPLE_EVENTS[:2], '{"ev')
+        with pytest.warns(UserWarning):
+            assert read_events(path) == SAMPLE_EVENTS[:2]
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(SAMPLE_EVENTS[0])
+        sink.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{broken")  # between header and a complete event
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ReproError, match="corrupt at line 2"):
+            read_events(path)
+
+    def test_intact_log_reads_without_warning(self, tmp_path):
+        import warnings as _warnings
+
+        path = tmp_path / "ok.jsonl"
+        sink = JsonlSink(path)
+        for event in SAMPLE_EVENTS:
+            sink.emit(event)
+        sink.close()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert read_events(path) == SAMPLE_EVENTS
