@@ -21,10 +21,15 @@ the default — derives K per kernel from trace depth) with
 ``REPRO_BENCH_CHECKPOINT_BUDGET_MB`` bounding per-process snapshot memory
 — again bit-for-bit identical results, only faster deep injections.
 
-``REPRO_BENCH_BACKEND={interpreter,compiled}`` selects the execution
-backend every harness-built injector uses (identical outcomes; the
-compiled closure-chain backend is faster — see
-``bench_compiled_backend.py``).
+``REPRO_BENCH_BACKEND={interpreter,compiled,vectorized}`` selects the
+execution backend every harness-built injector uses (identical outcomes;
+the compiled closure-chain backend is faster per thread, the vectorized
+lane-parallel backend is faster still on wide CTAs — see
+``bench_compiled_backend.py`` and ``bench_vectorized_backend.py``).
+
+``REPRO_BENCH_PAPER_GRID=1`` additionally runs kernels with a staged
+paper-scale build (16384-thread GEMM, 512-row MVT) at the paper's actual
+Table I grids on the vectorized backend (``bench_table1_fault_sites.py``).
 """
 
 from __future__ import annotations

@@ -101,8 +101,9 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         "--backend",
         choices=BACKENDS,
         default="interpreter",
-        help="execution backend: the reference interpreter or the "
-        "compiled closure-chain backend (identical outcomes, faster)",
+        help="execution backend: the reference interpreter, the compiled "
+        "closure-chain backend, or the vectorized lane-parallel backend "
+        "(identical outcomes, faster)",
     )
     sub.add_argument(
         "--propagation",

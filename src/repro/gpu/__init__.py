@@ -30,6 +30,7 @@ from .simulator import (
     LaunchResult,
 )
 from .tracing import ThreadTrace, TraceSummary, static_key_sequence, summarize
+from .vector import CompactTrace, VectorFallback, VectorProgram
 
 __all__ = [
     "BACKENDS",
@@ -37,6 +38,7 @@ __all__ = [
     "CTACheckpoint",
     "CheckpointPlan",
     "CheckpointStore",
+    "CompactTrace",
     "CompiledProgram",
     "DEFAULT_BUDGET_MB",
     "DEFAULT_MAX_STEPS",
@@ -64,6 +66,8 @@ __all__ = [
     "ThreadCheckpoint",
     "ThreadTrace",
     "TraceSummary",
+    "VectorFallback",
+    "VectorProgram",
     "flip_bit",
     "pack_params",
     "static_key_sequence",

@@ -151,6 +151,12 @@ class CTACheckpoint:
     ) -> "CTACheckpoint":
         from .thread import ThreadState
 
+        # Vector-backend lane views snapshot whole register-file planes in
+        # a few array copies instead of materialising per-lane dicts.
+        native = getattr(threads, "capture_native", None)
+        if native is not None:
+            return native(barrier_rounds, shared, write_count)
+
         regs = tuple(dict(t.regs.values) for t in threads)
         shared_data = shared.snapshot_bytes() if shared is not None else None
         nbytes = sum(_regs_nbytes(len(r)) for r in regs)

@@ -67,6 +67,15 @@ class GlobalMemory:
         self.write_log: list[tuple[int, bytes]] | None = None
         self.read_log: list[tuple[int, int]] | None = None
 
+    def __getstate__(self):
+        # Zero-copy views, bounds arrays, and conflict paint boards are
+        # process-local caches over ``_data``; pickling them would break
+        # aliasing on unpickle (spawn-pool golden-state handoff).
+        state = self.__dict__.copy()
+        for key in ("_array_view", "_alloc_arrays", "_vector_paint"):
+            state.pop(key, None)
+        return state
+
     @property
     def size(self) -> int:
         return len(self._data)
@@ -144,6 +153,43 @@ class GlobalMemory:
             end = address + len(raw)
             data[address:end] = src[address:end]
 
+    def array_view(self):
+        """A zero-copy writable ``uint8`` numpy view over the whole heap.
+
+        The backing ``bytearray`` is allocated once and never resized
+        (:meth:`alloc` only bump-allocates within it), so the view stays
+        valid for the lifetime of this memory object and is cached.
+        Writes through the view bypass allocation checks and logging —
+        callers (the vectorized backend) are responsible for validating
+        addresses and reconstructing equivalent write-log entries.
+        """
+        view = getattr(self, "_array_view", None)
+        if view is None:
+            import numpy as np
+
+            view = np.frombuffer(self._data, dtype=np.uint8)
+            self._array_view = view
+        return view
+
+    def allocation_arrays(self):
+        """``(bases, ends)`` int64 arrays sorted by base, for vector bounds.
+
+        An address range ``[a, a + size)`` is valid iff the allocation
+        found by ``searchsorted(bases, a, "right") - 1`` contains it —
+        equivalent to the linear scan in :meth:`_check` because
+        allocations never overlap.  Cached per allocation count.
+        """
+        cached = getattr(self, "_alloc_arrays", None)
+        if cached is not None and cached[0] == len(self._allocations):
+            return cached[1], cached[2]
+        import numpy as np
+
+        pairs = sorted(self._allocations)
+        bases = np.array([b for b, _ in pairs], dtype=np.int64)
+        ends = np.array([b + n for b, n in pairs], dtype=np.int64)
+        self._alloc_arrays = (len(self._allocations), bases, ends)
+        return bases, ends
+
     def raw_window(self, lo: int, hi: int) -> bytes:
         """Raw heap bytes in ``[lo, hi)`` without allocation checks.
 
@@ -168,6 +214,12 @@ class SharedMemory:
     def __init__(self, nbytes: int) -> None:
         self._data = bytearray(nbytes)
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in ("_array_view", "_vector_paint"):
+            state.pop(key, None)
+        return state
+
     def snapshot_bytes(self) -> bytes:
         """The full scratchpad image (CTA-checkpoint capture)."""
         return bytes(self._data)
@@ -181,6 +233,16 @@ class SharedMemory:
     def clear(self) -> None:
         """Zero the scratchpad in place (context-pool reuse between launches)."""
         self._data[:] = bytes(len(self._data))
+
+    def array_view(self):
+        """A zero-copy writable ``uint8`` numpy view over the scratchpad."""
+        view = getattr(self, "_array_view", None)
+        if view is None:
+            import numpy as np
+
+            view = np.frombuffer(self._data, dtype=np.uint8)
+            self._array_view = view
+        return view
 
     def load(self, address: int, dtype: DataType) -> int | float:
         size = dtype.width // 8

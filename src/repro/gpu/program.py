@@ -101,6 +101,25 @@ class Program:
             cache[key] = entry
         return entry
 
+    def vectorized(self, param_mem):
+        """The program decoded for lane-masked SIMD issue.
+
+        Vector decode folds parameter loads exactly like :meth:`compiled`,
+        so the cache is keyed by the parameter image too.
+        """
+        cache = getattr(self, "_vectorized", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_vectorized", cache)
+        key = param_mem.raw
+        entry = cache.get(key)
+        if entry is None:
+            from .vector import VectorProgram
+
+            entry = VectorProgram(self, param_mem)
+            cache[key] = entry
+        return entry
+
     def __len__(self) -> int:
         return len(self.instructions)
 

@@ -36,8 +36,11 @@ DEFAULT_MAX_STEPS = 1_000_000
 
 #: Execution backends: ``interpreter`` is the decoded-tuple loop in
 #: :mod:`~repro.gpu.thread`; ``compiled`` specialises programs into
-#: closure chains (:mod:`~repro.gpu.compiler`) with identical semantics.
-BACKENDS = ("interpreter", "compiled")
+#: closure chains (:mod:`~repro.gpu.compiler`) with identical semantics;
+#: ``vectorized`` executes lane-masked SIMD over a numpy register file
+#: (:mod:`~repro.gpu.vector`), falling back to the compiled path whenever
+#: lockstep execution cannot prove classic-identical results.
+BACKENDS = ("interpreter", "compiled", "vectorized")
 
 #: Cache-size bound for pooled contexts / bound chains / specials dicts;
 #: cleared wholesale on overflow (campaigns touch far fewer keys).
@@ -127,6 +130,7 @@ class GPUSimulator:
         self._specials_cache: dict = {}
         self._context_pool: dict = {}
         self._shared_pool: dict = {}
+        self._vector_pool: dict = {}
 
     # ------------------------------------------------------------- pooling
 
@@ -286,6 +290,35 @@ class GPUSimulator:
                 raise SimulatorError("step_trace and checkpoint plans are exclusive")
             if not 0 <= step_trace[0] < geometry.n_threads:
                 raise SimulatorError(f"step_trace thread {step_trace[0]} outside grid")
+
+        if self.backend == "vectorized":
+            # Thread-sliced and step-traced runs need per-instruction
+            # observation of a single thread; they stay on the compiled
+            # path, which is already exact for them.
+            if only_thread is None and step_trace is None:
+                from .vector import VectorFallback, launch_vectorized
+
+                try:
+                    return launch_vectorized(
+                        self,
+                        program,
+                        geometry,
+                        param_mem,
+                        heap,
+                        record_traces=record_traces,
+                        record_write_logs=record_write_logs,
+                        record_read_logs=record_read_logs,
+                        record_thread_write_logs=record_thread_write_logs,
+                        only_cta=only_cta,
+                        injection_thread=injection_thread,
+                        injection_spec=injection_spec,
+                        max_steps=max_steps,
+                        checkpoint=checkpoint,
+                    )
+                except VectorFallback:
+                    if self.telemetry.enabled:
+                        self.telemetry.count("vector.fallbacks")
+            compiled_program = program.compiled(param_mem)
 
         traces: list[ThreadTrace] | None = None
         trace_map: dict[int, ThreadTrace] = {}

@@ -5,8 +5,10 @@ exactly tiles the matrix — so all threads share one iCnt.  The paper finds
 exactly one representative thread for GEMM; the loop then dominates its
 fault sites (98.2 % of instructions, Table VII).
 
-Scaling: paper uses 16384 threads (512x512); we use 16x16 matrices with
-4x4 CTAs (256 threads, 16 CTAs, 16-iteration k-loop).
+Scaling: paper uses 16384 threads (128x128 C tiles); the default build
+uses 16x16 matrices with 4x4 CTAs (256 threads, 16 CTAs, 16-iteration
+k-loop).  ``scale="paper"`` stages the full 16384-thread grid — only the
+vectorized backend can golden-run it in reasonable time.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gpu import GPUSimulator, KernelBuilder, LaunchGeometry, pack_params
-from .common import emit_global_xy, f32_mad, f32_mul, float_inputs
+from .common import emit_global_xy, float_inputs
 from .registry import KernelInstance, KernelSpec, OutputBuffer, register
 
 NI = 16  # rows of C / A
@@ -22,27 +24,29 @@ NJ = 16  # cols of C / B
 NK = 16  # inner dimension
 BLOCK = (4, 4)
 GRID = (NJ // BLOCK[0], NI // BLOCK[1])
+PAPER_N = 128  # paper grid: 128x128 C with 16x16 CTAs -> 16384 threads
+PAPER_BLOCK = (16, 16)
 ALPHA = np.float32(1.5)
 BETA = np.float32(1.2)
 SEED = 0x6E44
 
 
-def build_program() -> KernelBuilder:
+def build_program(ni: int = NI, nj: int = NJ, nk: int = NK) -> KernelBuilder:
     k = KernelBuilder("gemm_kernel")
     a_ptr, b_ptr, c_ptr, alpha, beta = k.params("a", "b", "c", "alpha_f32", "beta_f32")
     r = k.regs("i", "j", "t", "kk", "addr_a", "addr_b", "addr_c", "acc", "av", "bv")
 
     emit_global_xy(k, r.j, r.i, r.t)
 
-    # addr_c = c + 4 * (i * NJ + j)
-    k.mul("u32", r.addr_c, r.i, NJ)
+    # addr_c = c + 4 * (i * nj + j)
+    k.mul("u32", r.addr_c, r.i, nj)
     k.add("u32", r.addr_c, r.addr_c, r.j)
     k.shl("u32", r.addr_c, r.addr_c, 2)
     k.ld("u32", r.t, c_ptr)
     k.add("u32", r.addr_c, r.addr_c, r.t)
 
     # addr_a walks row i of A; addr_b walks column j of B.
-    k.mul("u32", r.addr_a, r.i, NK)
+    k.mul("u32", r.addr_a, r.i, nk)
     k.shl("u32", r.addr_a, r.addr_a, 2)
     k.ld("u32", r.t, a_ptr)
     k.add("u32", r.addr_a, r.addr_a, r.t)
@@ -51,12 +55,12 @@ def build_program() -> KernelBuilder:
     k.add("u32", r.addr_b, r.addr_b, r.t)
 
     k.mov("f32", r.acc, 0.0)
-    with k.loop("u32", r.kk, 0, NK):
+    with k.loop("u32", r.kk, 0, nk):
         k.ld("f32", r.av, k.global_ref(r.addr_a))
         k.ld("f32", r.bv, k.global_ref(r.addr_b))
         k.mad_op("f32", r.acc, r.av, r.bv, r.acc)
         k.add("u32", r.addr_a, r.addr_a, 4)
-        k.add("u32", r.addr_b, r.addr_b, 4 * NJ)
+        k.add("u32", r.addr_b, r.addr_b, 4 * nj)
 
     # C[i][j] = alpha * acc + beta * C[i][j]
     k.ld("f32", r.av, k.global_ref(r.addr_c))
@@ -70,23 +74,27 @@ def build_program() -> KernelBuilder:
 
 
 def reference(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
-    out = np.empty((NI, NJ), dtype=np.float32)
-    for i in range(NI):
-        for j in range(NJ):
-            acc = np.float32(0.0)
-            for kk in range(NK):
-                acc = f32_mad(a[i, kk], b[kk, j], acc)
-            out[i, j] = f32_mad(acc, ALPHA, f32_mul(c[i, j], BETA))
-    return out
+    """Bit-exact vectorised mirror of the kernel's f32 rounding sequence.
+
+    Each k-step is one correctly-rounded f32 multiply then one f32 add —
+    exactly ``f32_mad`` — so rank-1 updates in ascending k replay the
+    per-thread accumulation order.
+    """
+    acc = np.zeros(c.shape, dtype=np.float32)
+    for kk in range(a.shape[1]):
+        acc = a[:, kk, None] * b[None, kk, :] + acc
+    return acc * ALPHA + c * BETA
 
 
-def build() -> KernelInstance:
-    k = build_program()
+def build(
+    ni: int = NI, nj: int = NJ, nk: int = NK, block: tuple[int, int] = BLOCK
+) -> KernelInstance:
+    k = build_program(ni, nj, nk)
     program = k.build()
     rng = np.random.default_rng(SEED)
-    a = float_inputs(rng, (NI, NK))
-    b = float_inputs(rng, (NK, NJ))
-    c = float_inputs(rng, (NI, NJ))
+    a = float_inputs(rng, (ni, nk))
+    b = float_inputs(rng, (nk, nj))
+    c = float_inputs(rng, (ni, nj))
 
     sim = GPUSimulator()
     a_addr = sim.alloc_array(a)
@@ -99,12 +107,17 @@ def build() -> KernelInstance:
     return KernelInstance(
         spec=None,
         program=program,
-        geometry=LaunchGeometry(grid=GRID, block=BLOCK),
+        geometry=LaunchGeometry(grid=(nj // block[0], ni // block[1]), block=block),
         param_bytes=params,
         initial_memory=sim.memory,
-        outputs=(OutputBuffer("c", c_addr, np.dtype(np.float32), NI * NJ),),
+        outputs=(OutputBuffer("c", c_addr, np.dtype(np.float32), ni * nj),),
         reference={"c": reference(a, b, c)},
     )
+
+
+def build_paper() -> KernelInstance:
+    """The paper's Table I grid: 16384 threads over a 128x128x128 GEMM."""
+    return build(ni=PAPER_N, nj=PAPER_N, nk=PAPER_N, block=PAPER_BLOCK)
 
 
 SPEC = register(
@@ -117,5 +130,6 @@ SPEC = register(
         paper_threads=16384,
         paper_fault_sites=6.23e8,
         scaling_note=f"{NI}x{NJ}x{NK} matrices, {GRID[0] * GRID[1]} CTAs of {BLOCK[0] * BLOCK[1]} threads",
+        paper_build_fn=build_paper,
     )
 )

@@ -1,0 +1,132 @@
+"""Vectorized-backend injection equivalence on the real kernel registry.
+
+The fuzz harness (``tests/gpu/test_compiled_backend.py``) covers ISA
+breadth on synthetic programs; these tests pin the end-to-end contract on
+registry kernels: a ``backend="vectorized"`` injector produces
+byte-identical campaign outcomes, profile weights and fallback counts to
+the interpreter — including composed with checkpointed fast-forwarding,
+golden-state worker handoff, and a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import FaultInjector, load_instance, random_campaign
+from repro.parallel import ParallelCampaignRunner
+
+START_METHOD = os.environ.get("REPRO_TEST_START_METHOD") or None
+
+N_SITES = 40
+SEED = 17
+
+#: One kernel per injector slicing regime: CTA-sliced barrier-heavy
+#: (pathfinder), thread-sliced (2dconv), short-trace (k-means).
+KEYS = ("pathfinder.k1", "2dconv.k1", "k-means.k1")
+
+
+@pytest.fixture(scope="module", params=KEYS)
+def backend_pair(request):
+    key = request.param
+    interp = FaultInjector(load_instance(key))
+    vectorized = FaultInjector(load_instance(key), backend="vectorized")
+    return key, interp, vectorized
+
+
+class TestBackendEquivalence:
+    def test_campaign_outcomes_identical(self, backend_pair):
+        key, interp, vectorized = backend_pair
+        a = random_campaign(interp, N_SITES, rng=SEED)
+        b = random_campaign(vectorized, N_SITES, rng=SEED)
+        assert a.outcomes == b.outcomes, key
+        assert a.profile.weights == b.profile.weights
+        assert interp.fallback_count == vectorized.fallback_count
+
+    def test_store_address_and_register_file_identical(self, backend_pair):
+        key, interp, vectorized = backend_pair
+        thread = max(range(len(interp.traces)), key=lambda t: len(interp.traces[t]))
+        for site in interp.store_address_sites(thread)[:12]:
+            spec = site.spec()
+            assert interp.inject_spec(site.thread, spec) == vectorized.inject_spec(
+                site.thread, spec
+            ), (key, site)
+        for site in interp.sample_register_file_sites(12, np.random.default_rng(3)):
+            spec = site.spec()
+            assert interp.inject_spec(site.thread, spec) == vectorized.inject_spec(
+                site.thread, spec
+            ), (key, site)
+
+    def test_full_reexecution_identical(self, backend_pair):
+        key, interp, vectorized = backend_pair
+        for site in interp.space.sample(6, np.random.default_rng(SEED)):
+            assert interp.inject_full(site) == vectorized.inject_full(site), (
+                key,
+                site,
+            )
+
+
+def test_vectorized_with_checkpoints_matches_full_prefix_interpreter():
+    reference = random_campaign(
+        FaultInjector(load_instance("pathfinder.k1"), checkpoint_interval=0),
+        N_SITES,
+        rng=SEED,
+    )
+    candidate = random_campaign(
+        FaultInjector(
+            load_instance("pathfinder.k1"),
+            backend="vectorized",
+            checkpoint_interval=16,
+        ),
+        N_SITES,
+        rng=SEED,
+    )
+    assert candidate.outcomes == reference.outcomes
+    assert candidate.profile.weights == reference.profile.weights
+
+
+def test_vectorized_two_workers_matches_serial_interpreter():
+    serial = random_campaign(
+        FaultInjector(load_instance("2dconv.k1")), N_SITES, rng=SEED
+    )
+    pooled = random_campaign(
+        FaultInjector(load_instance("2dconv.k1"), backend="vectorized"),
+        N_SITES,
+        rng=SEED,
+        executor=ParallelCampaignRunner(2, chunk_size=8, start_method=START_METHOD),
+    )
+    assert pooled.outcomes == serial.outcomes
+    assert pooled.profile.weights == serial.profile.weights
+
+
+def test_golden_state_handoff_skips_golden_run():
+    parent = FaultInjector(load_instance("2dconv.k1"))
+    child = FaultInjector(
+        load_instance("2dconv.k1"),
+        verify_golden=False,
+        backend="vectorized",
+        golden=parent.golden_state(),
+    )
+    assert child._golden_output == parent._golden_output
+    a = random_campaign(parent, N_SITES, rng=SEED)
+    b = random_campaign(child, N_SITES, rng=SEED)
+    assert a.outcomes == b.outcomes
+
+
+def test_vectorized_golden_traces_pickle_roundtrip():
+    """CompactTrace survives pickling (spawn-pool golden-state handoff)."""
+    import pickle
+
+    inj = FaultInjector(load_instance("k-means.k1"), backend="vectorized")
+    state = pickle.loads(pickle.dumps(inj.golden_state()))
+    child = FaultInjector(
+        load_instance("k-means.k1"),
+        verify_golden=False,
+        backend="vectorized",
+        golden=state,
+    )
+    a = random_campaign(inj, 12, rng=SEED)
+    b = random_campaign(child, 12, rng=SEED)
+    assert a.outcomes == b.outcomes

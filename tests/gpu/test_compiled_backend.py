@@ -273,11 +273,12 @@ def _launch(instance: KernelInstance, backend: str):
     return result, bytes(memory.raw_window(lo, hi))
 
 
+@pytest.mark.parametrize("backend", ["compiled", "vectorized"])
 @pytest.mark.parametrize("seed", range(12))
-def test_fuzzed_programs_execute_identically(seed):
+def test_fuzzed_programs_execute_identically(seed, backend):
     instance = build_fuzz_instance(seed)
     ref, ref_heap = _launch(instance, "interpreter")
-    got, got_heap = _launch(instance, "compiled")
+    got, got_heap = _launch(instance, backend)
     assert got.traces == ref.traces
     assert got.cta_write_logs == ref.cta_write_logs
     assert got.instructions == ref.instructions
@@ -287,24 +288,25 @@ def test_fuzzed_programs_execute_identically(seed):
     assert got_heap == ref_heap
 
 
+@pytest.mark.parametrize("backend", ["compiled", "vectorized"])
 @pytest.mark.parametrize("seed", [1, 4, 7])
-def test_fuzzed_injection_outcomes_identical(seed):
+def test_fuzzed_injection_outcomes_identical(seed, backend):
     """All three fault models agree on random programs (arming layer)."""
     instance = build_fuzz_instance(seed)
     interp = FaultInjector(instance, verify_golden=False)
-    compiled = FaultInjector(instance, verify_golden=False, backend="compiled")
+    candidate = FaultInjector(instance, verify_golden=False, backend=backend)
     rng = np.random.default_rng(seed)
 
     for site in interp.space.sample(24, rng):  # VALUE
-        assert interp.inject(site) == compiled.inject(site), site
+        assert interp.inject(site) == candidate.inject(site), site
     thread = max(range(len(interp.traces)), key=lambda t: len(interp.traces[t]))
     for site in interp.store_address_sites(thread)[:16]:  # STORE_ADDRESS
         spec = site.spec()
-        assert interp.inject_spec(site.thread, spec) == compiled.inject_spec(
+        assert interp.inject_spec(site.thread, spec) == candidate.inject_spec(
             site.thread, spec
         ), site
     for site in interp.sample_register_file_sites(16, rng):  # REGISTER_FILE
         spec = site.spec()
-        assert interp.inject_spec(site.thread, spec) == compiled.inject_spec(
+        assert interp.inject_spec(site.thread, spec) == candidate.inject_spec(
             site.thread, spec
         ), site

@@ -1,0 +1,156 @@
+"""Zero-copy memory view invariants backing the vectorized backend.
+
+The vectorized backend bypasses :meth:`GlobalMemory.store` — it writes
+through :meth:`GlobalMemory.array_view` and reconstructs write-log entries
+from its own masked scatter records.  These tests pin the invariants that
+make that reconstruction exact: view writes alias the heap byte-for-byte,
+a reconstructed ``(address, raw)`` entry is indistinguishable from one
+:meth:`store` would have produced, and the ``allocation_arrays`` bounds
+check accepts/rejects exactly the addresses the scalar ``_check`` does.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryFault
+from repro.gpu.isa import DataType
+from repro.gpu.memory import GlobalMemory, SharedMemory, encode_value
+
+
+def _fresh_heap():
+    heap = GlobalMemory()
+    a = heap.alloc(64)
+    b = heap.alloc(40)
+    return heap, a, b
+
+
+def test_view_writes_alias_store_writes():
+    heap, base, _ = _fresh_heap()
+    view = heap.array_view()
+    view[base : base + 4] = np.frombuffer(
+        encode_value(0xDEADBEEF, DataType.U32), dtype=np.uint8
+    )
+    assert heap.load(base, DataType.U32) == 0xDEADBEEF
+    heap.store(base + 4, 0x01020304, DataType.U32)
+    assert bytes(view[base + 4 : base + 8]) == encode_value(0x01020304, DataType.U32)
+
+
+def test_reconstructed_log_entries_match_store_log_entries():
+    """A view write + hand-built log entry == a store() write's log entry."""
+    via_store, base, _ = _fresh_heap()
+    via_view, _, _ = _fresh_heap()
+    values = [
+        (base, 0x11223344, DataType.U32),
+        (base + 8, -7, DataType.S32),
+        (base + 16, 2.5, DataType.F32),
+        (base + 24, -0.125, DataType.F64),
+        (base + 40, 0xBEEF, DataType.U16),
+    ]
+
+    via_store.write_log = []
+    for address, value, dtype in values:
+        via_store.store(address, value, dtype)
+
+    via_view.write_log = []
+    view = via_view.array_view()
+    for address, value, dtype in values:
+        raw = encode_value(value, dtype)
+        view[address : address + len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+        via_view.write_log.append((address, raw))
+
+    assert via_view.write_log == via_store.write_log
+    lo, hi = via_store.allocation_span()
+    assert bytes(view[lo:hi]) == bytes(via_store.array_view()[lo:hi])
+
+    # Replaying either log onto a third heap converges to the same image.
+    replay = _fresh_heap()[0]
+    replay.apply_writes(via_view.write_log)
+    assert bytes(replay.array_view()[lo:hi]) == bytes(via_store.array_view()[lo:hi])
+
+
+def test_allocation_arrays_bounds_match_scalar_check():
+    heap, a, b = _fresh_heap()
+    bases, ends = heap.allocation_arrays()
+    assert list(bases) == sorted([a, b])
+
+    span = [(addr, size) for addr in range(a - 2, b + 44) for size in (1, 4, 8)]
+    for address, size in span:
+        idx = int(np.searchsorted(bases, address, side="right")) - 1
+        vector_ok = idx >= 0 and address + size <= int(ends[idx])
+        try:
+            heap._check(address, size)
+            scalar_ok = True
+        except MemoryFault:
+            scalar_ok = False
+        assert vector_ok == scalar_ok, (address, size)
+
+
+def test_allocation_arrays_cache_tracks_new_allocations():
+    heap = GlobalMemory()
+    a = heap.alloc(16)
+    bases, _ = heap.allocation_arrays()
+    assert list(bases) == [a]
+    b = heap.alloc(16)
+    bases, ends = heap.allocation_arrays()
+    assert list(bases) == [a, b]
+    assert list(ends) == [a + 16, b + 16]
+
+
+def test_view_is_cached_and_stable():
+    heap, base, _ = _fresh_heap()
+    assert heap.array_view() is heap.array_view()
+    view = heap.array_view()
+    heap.alloc(32)  # bump-allocation never resizes the backing buffer
+    view[base] = 0x7F
+    assert heap.read_bytes(base, 1) == b"\x7f"
+
+
+def test_shared_view_aliases_snapshot_roundtrip():
+    shared = SharedMemory(32)
+    view = shared.array_view()
+    view[:4] = (1, 2, 3, 4)
+    image = shared.snapshot_bytes()
+    assert image[:4] == bytes((1, 2, 3, 4))
+    view[:4] = 0
+    shared.restore_bytes(image)
+    assert bytes(view[:4]) == bytes((1, 2, 3, 4))
+    assert shared.load(0, DataType.U32) == 0x04030201
+
+
+def test_views_do_not_break_pickling():
+    heap, base, _ = _fresh_heap()
+    heap.array_view()
+    heap.allocation_arrays()
+    heap.store(base, 42, DataType.U32)
+    clone = pickle.loads(pickle.dumps(heap))
+    assert clone.load(base, DataType.U32) == 42
+    clone.array_view()[base] = 43
+    assert clone.load(base, DataType.U32) == 43
+    assert heap.load(base, DataType.U32) == 42
+
+    shared = SharedMemory(16)
+    shared.array_view()
+    shared.store(0, 9, DataType.U32)
+    sclone = pickle.loads(pickle.dumps(shared))
+    assert sclone.load(0, DataType.U32) == 9
+
+
+def test_view_bypasses_logging_by_design():
+    heap, base, _ = _fresh_heap()
+    heap.write_log = []
+    heap.array_view()[base] = 1
+    assert heap.write_log == []
+    heap.store(base, 2, DataType.U32)
+    assert len(heap.write_log) == 1
+
+
+def test_out_of_heap_allocation_rejected():
+    heap = GlobalMemory(size=0x2000)
+    with pytest.raises(MemoryError):
+        heap.alloc(0x10000)
+    with pytest.raises(ValueError):
+        heap.alloc(0)
