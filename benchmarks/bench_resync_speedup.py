@@ -1,0 +1,193 @@
+"""Engineering bench — golden-resync early exit vs full-suffix injection.
+
+Checkpoints remove the pre-flip prefix; resync (``repro.faults.resync``)
+removes the post-window *suffix* for injections that provably reconverge
+with the golden execution.  Its win is therefore outcome-dependent: a
+flip that diverges for good must still execute to the end, while a flip
+that reconverges inside the window splices the golden suffix and skips
+everything after it.
+
+This bench measures both regimes on the deep tertile (the last third of
+each thread's dynamic trace, where the checkpoint layer already pays for
+the prefix and the suffix is all that is left to optimise):
+
+* ``deep_speedup`` — injections/sec over *all* sampled deep-tertile
+  sites, resync on vs off.  Honest campaign-level number; dominated by
+  the kernel's reconvergence rate, recorded but not gated.
+* ``splice_rate`` — fraction of sampled deep-tertile sites that resync
+  splices (the mechanism's applicability on this kernel).
+* ``deep_splice_speedup`` — injections/sec over the splicing subset,
+  measured with a fresh resync injector (cold memo — this times the
+  monitor + splice path, not memo recall).  This is the mechanism's win
+  where it fires and carries the >= 3x acceptance bar.
+
+``pathfinder.k1`` exercises the classic CTA path (barrier-heavy shared
+memory; interval 8 keeps the restore point close to deep flips so the
+suffix dominates both arms).  ``deeploop`` (384 iterations fenced into
+4-iteration barrier rounds) exercises the vectorized 1024-lane demotion
+path at checkpoint interval 16.  Both arms of every comparison run
+identical flags except ``resync`` and must produce byte-identical
+outcome sequences.
+"""
+
+import time
+
+from benchmarks.common import append_history, emit
+from repro import FaultInjector, load_instance
+from repro.faults.site import FaultSite
+from repro.kernels import deeploop
+from repro.telemetry import InjectionEvent, MemorySink, Telemetry
+
+#: Bits probed per deep-tertile dynamic instruction (low / middle / high).
+BITS = (0, 15, 30)
+
+#: Splicing sites timed per kernel for ``deep_splice_speedup``.
+SPLICE_CAP = 48
+
+#: The acceptance bar: splice-path injections/sec vs full suffix.
+SPLICE_SPEEDUP_FLOOR = 3.0
+
+CONFIGS = (
+    {
+        "kernel": "pathfinder.k1",
+        "build": lambda: load_instance("pathfinder.k1"),
+        "backend": "interpreter",
+        "interval": 8,
+        "thread_stride": 16,
+        "site_stride": 2,
+    },
+    {
+        "kernel": "deeploop",
+        "build": lambda: deeploop.build(iters=384, sync_every=4),
+        "backend": "vectorized",
+        "interval": 16,
+        "thread_stride": 600,
+        "site_stride": 24,
+    },
+)
+
+
+def _deep_sites(injector, thread_stride: int, site_stride: int):
+    """Every valid deep-tertile site of the sampled threads, subsampled."""
+    sites = []
+    for thread in range(0, len(injector.traces), thread_stride):
+        trace = injector.traces[thread]
+        length = len(trace)
+        for dyn in range(2 * length // 3, length - 1):
+            width = trace[dyn][1]
+            if width == 0:
+                continue
+            for bit in BITS:
+                if bit < width:
+                    sites.append(FaultSite(thread, dyn, bit))
+    return sites[::site_stride]
+
+
+def _make_injector(config, resync: bool, telemetry=None):
+    return FaultInjector(
+        config["build"](),
+        backend=config["backend"],
+        checkpoint_interval=config["interval"],
+        resync=resync,
+        telemetry=telemetry,
+    )
+
+
+def _warm(injector, sites) -> None:
+    """Per-thread one-time costs out of the timed region.
+
+    One injection per involved thread fills the checkpoint store; the
+    resync arm additionally captures its golden streams (shared with any
+    propagation tracer, amortised across a real campaign).
+    """
+    for thread in sorted({s.thread for s in sites}):
+        if injector.resync:
+            injector.golden_streams().stream(thread)
+        injector.inject(next(s for s in sites if s.thread == thread))
+
+
+def _rate(injector, sites):
+    """(injections/sec, outcome names) over one timed pass."""
+    t0 = time.perf_counter()
+    outcomes = [injector.inject(s).name for s in sites]
+    return len(sites) / (time.perf_counter() - t0), outcomes
+
+
+def run_comparison() -> str:
+    lines = []
+    worst_splice_speedup = float("inf")
+    for config in CONFIGS:
+        kernel = config["kernel"]
+        base = _make_injector(config, resync=False)
+        sink = MemorySink()
+        rs = _make_injector(config, resync=True, telemetry=Telemetry(sink=sink))
+        sites = _deep_sites(base, config["thread_stride"], config["site_stride"])
+        _warm(base, sites)
+        _warm(rs, sites)
+
+        # Full deep-tertile population: campaign-level speedup + which
+        # sites splice (events carry spliced_instructions > 0).
+        skip = len(sink.of_type(InjectionEvent))
+        base_rate, base_out = _rate(base, sites)
+        rs_rate, rs_out = _rate(rs, sites)
+        assert base_out == rs_out, f"{kernel}: resync outcomes diverge"
+        events = sink.of_type(InjectionEvent)[skip:]
+        splicers = [
+            site
+            for site, event in zip(sites, events)
+            if event.spliced_instructions > 0
+        ]
+        splice_rate = len(splicers) / len(sites)
+        deep_speedup = rs_rate / base_rate
+
+        # Splice path in isolation: fresh injector (cold memo) over the
+        # splicing subset.
+        subset = splicers[:SPLICE_CAP]
+        rs_cold = _make_injector(config, resync=True)
+        _warm(rs_cold, subset)
+        sub_base_rate, sub_base_out = _rate(base, subset)
+        sub_rs_rate, sub_rs_out = _rate(rs_cold, subset)
+        assert sub_base_out == sub_rs_out, f"{kernel}: splice outcomes diverge"
+        splice_speedup = sub_rs_rate / sub_base_rate
+        worst_splice_speedup = min(worst_splice_speedup, splice_speedup)
+
+        lines.append(
+            f"{kernel}: backend {config['backend']}, "
+            f"interval {config['interval']}, {len(sites)} deep sites"
+        )
+        lines.append(
+            f"  full tertile : off {base_rate:7.1f} inj/s   "
+            f"on {rs_rate:7.1f} inj/s   speed-up {deep_speedup:5.2f}x   "
+            f"splice rate {splice_rate:.2f}"
+        )
+        lines.append(
+            f"  splice subset: off {sub_base_rate:7.1f} inj/s   "
+            f"on {sub_rs_rate:7.1f} inj/s   speed-up {splice_speedup:5.2f}x   "
+            f"({len(subset)} sites)"
+        )
+        append_history(
+            "resync", "deep_splice_speedup", splice_speedup,
+            kernel=kernel, unit="x", direction="higher",
+        )
+        append_history(
+            "resync", "deep_speedup", deep_speedup,
+            kernel=kernel, unit="x", direction="higher",
+        )
+        append_history(
+            "resync", "splice_rate", splice_rate,
+            kernel=kernel, unit="frac", direction="higher",
+        )
+    lines.append(
+        f"worst splice-path speed-up: {worst_splice_speedup:.2f}x"
+    )
+    assert worst_splice_speedup >= SPLICE_SPEEDUP_FLOOR, (
+        f"splice-path speed-up {worst_splice_speedup:.2f}x below the "
+        f"{SPLICE_SPEEDUP_FLOOR}x bar"
+    )
+    return "\n".join(lines)
+
+
+def test_resync_speedup(benchmark):
+    text = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    emit("resync_speedup", text)
+    assert "speed-up" in text

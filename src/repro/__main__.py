@@ -44,6 +44,7 @@ from . import (
     random_campaign,
     resolve_executor,
 )
+from .faults.resync import DEFAULT_RESYNC_WINDOW
 from .stats import sample_size_worst_case
 from .telemetry import (
     NULL_TELEMETRY,
@@ -111,6 +112,22 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         help="trace fault propagation per injection (corruption lineage, "
         "divergence/masking points, output geometry); records ride the "
         "telemetry event stream and feed 'repro report --propagation'",
+    )
+    sub.add_argument(
+        "--resync",
+        action="store_true",
+        help="golden-resync early exit: once a faulty run reconverges "
+        "with the cached golden stream inside the divergence window, "
+        "splice the golden suffix instead of executing it (profiles are "
+        "identical either way)",
+    )
+    sub.add_argument(
+        "--resync-window",
+        type=int,
+        metavar="W",
+        default=DEFAULT_RESYNC_WINDOW,
+        help="post-flip instructions to scan for reconvergence before "
+        "giving up and running the suffix normally",
     )
 
 
@@ -204,6 +221,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare two 'repro report --format json' files "
         "(A = baseline, B = candidate) instead of rendering one report",
     )
+    report.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="with --diff: exit nonzero when any outcome-share delta is "
+        "CI-significant (the Wilson intervals are disjoint)",
+    )
     report.add_argument("--out", default=None, help="write to file instead of stdout")
 
     trace = sub.add_parser(
@@ -271,6 +294,8 @@ def _checkpoint_kwargs(args) -> dict:
         "checkpoint_budget_mb": args.checkpoint_budget_mb,
         "backend": args.backend,
         "propagation": args.propagation,
+        "resync": args.resync,
+        "resync_window": args.resync_window,
     }
 
 
@@ -355,6 +380,8 @@ def cmd_profile(args) -> int:
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
                 "backend": args.backend,
                 "propagation": args.propagation,
+                "resync": args.resync,
+                "resync_window": args.resync_window,
                 "audit_groups": args.audit_groups,
             },
             seed=args.seed,
@@ -414,6 +441,8 @@ def cmd_baseline(args) -> int:
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
                 "backend": args.backend,
+                "resync": args.resync,
+                "resync_window": args.resync_window,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -455,6 +484,8 @@ def cmd_stages(args) -> int:
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
                 "backend": args.backend,
+                "resync": args.resync,
+                "resync_window": args.resync_window,
             },
             events_path=args.telemetry_out,
         )
@@ -492,6 +523,8 @@ def cmd_metrics(args) -> int:
                 "checkpoint_interval": args.checkpoint_interval,
                 "checkpoint_budget_mb": args.checkpoint_budget_mb,
                 "backend": args.backend,
+                "resync": args.resync,
+                "resync_window": args.resync_window,
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -544,6 +577,19 @@ def cmd_report(args) -> int:
             _emit(json.dumps(diff, indent=1, sort_keys=True) + "\n", args.out)
         else:
             _emit(render_diff_text(diff), args.out)
+        if args.fail_on_regression:
+            shifted = [
+                row["outcome"]
+                for row in diff["outcomes"]
+                if row["significant"]
+            ]
+            if shifted:
+                print(
+                    "FAIL: outcome profile shifted beyond sampling noise "
+                    f"({', '.join(shifted)})",
+                    file=sys.stderr,
+                )
+                return 1
         return 0
 
     targets = list(args.target)
@@ -611,17 +657,24 @@ def cmd_trace_fault(args) -> int:
 
 
 def cmd_bench_check(args) -> int:
-    from .observe.history import DEFAULT_TOLERANCE, check_history
+    from .observe.history import (
+        DEFAULT_TOLERANCE,
+        MIN_BLOCKING_SAMPLES,
+        check_history,
+    )
 
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     findings = check_history(
         args.results_dir, tolerance=tolerance, suite=args.suite, host=args.host
     )
     regressions = [f for f in findings if f["status"] == "regression"]
+    blocking = [f for f in regressions if not f.get("advisory")]
+    advisory = [f for f in regressions if f.get("advisory")]
     if args.json:
         print(json.dumps(
             {"tolerance": tolerance, "findings": findings,
-             "regressions": len(regressions)},
+             "regressions": len(regressions),
+             "blocking": len(blocking)},
             indent=1,
         ))
     else:
@@ -631,14 +684,21 @@ def cmd_bench_check(args) -> int:
                 f"baseline {f['baseline']:.6g}" if f["baseline"] is not None
                 else "no baseline"
             )
+            tag = "advisory" if f.get("advisory") else f["status"]
             print(
-                f"  [{f['status']:<11s}] {f['suite']}/{f['kernel']}"
+                f"  [{tag:<11s}] {f['suite']}/{f['kernel']}"
                 f" {f['metric']}={f['value']:.6g}{f['unit']}"
                 f" ({baseline}, {f['observations']} obs)"
             )
-        if regressions:
-            print(f"{len(regressions)} regression(s) beyond ±{tolerance:.0%}")
-    if regressions and not args.advisory:
+        if advisory:
+            print(
+                f"WARNING: {len(advisory)} regression(s) backed by fewer "
+                f"than {MIN_BLOCKING_SAMPLES} baseline samples — advisory "
+                "only, not gating"
+            )
+        if blocking:
+            print(f"{len(blocking)} regression(s) beyond ±{tolerance:.0%}")
+    if blocking and not args.advisory:
         return 1
     return 0
 

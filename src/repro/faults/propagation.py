@@ -56,10 +56,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: count is always recorded so truncation is visible.
 MAX_CORRUPTION_EVENTS = 64
 
-#: Golden per-thread observation streams cached by the tracer; cleared
-#: wholesale on overflow (audits touch many threads, campaigns few).
-_GOLDEN_CACHE_LIMIT = 32
-
 _MISSING = object()
 
 
@@ -227,9 +223,6 @@ class PropagationTracer:
         self._sim = GPUSimulator(
             telemetry=NULL_TELEMETRY, backend=injector.backend
         )
-        #: thread -> list of golden register snapshots; entry ``d - 1``
-        #: is the state after the thread's first ``d`` instructions.
-        self._golden_cache: dict[int, list[dict]] = {}
 
     # ------------------------------------------------------------- replays
 
@@ -270,21 +263,12 @@ class PropagationTracer:
         state *before* dyn 0 is trivially empty, the state *after* the
         final instruction is unobservable — and irrelevant: a thread's
         last instruction is an exit, which writes no register).
+
+        Delegates to the injector's :class:`GoldenStreamCache` so the
+        resync monitor and the propagation tracer share one capture per
+        thread instead of replaying the golden CTA twice.
         """
-        cached = self._golden_cache.get(thread)
-        if cached is not None:
-            return cached
-        if len(self._golden_cache) >= _GOLDEN_CACHE_LIMIT:
-            self._golden_cache.clear()
-        snaps: list[dict] = []
-
-        def sink(dyn: int, pc: int, regs: dict) -> None:
-            snaps.append(dict(regs))
-
-        cta = self._injector.instance.geometry.cta_of_thread(thread)
-        self._launch_cta(cta, thread, sink)
-        self._golden_cache[thread] = snaps
-        return snaps
+        return self._injector.golden_streams().stream(thread).snaps
 
     # --------------------------------------------------------------- trace
 

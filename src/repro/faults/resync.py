@@ -1,0 +1,533 @@
+"""Golden-resync early exit: convergence-bounded fault injection.
+
+Checkpoints (``repro.gpu.checkpoint``) removed the pre-flip prefix cost;
+this module removes the post-window *suffix* cost.  The dominant outcome
+of a fault-injection campaign is MASKED — most flips reconverge with the
+golden execution after a short divergence window — yet without this
+layer every faulty run still executes from the flip to program end.
+
+:class:`ResyncMonitor` observes the injected thread at every dynamic
+instruction after the flip (riding the checkpoint-sink plumbing, so the
+hot loops gain no new per-step conditionals) and compares against the
+cached golden register stream plus the golden write-log index.  Once
+
+* the thread's PC sequence has matched golden at every observation,
+* every global write issued inside the window was byte-identical to the
+  golden write at the same log position,
+* no unverifiable shared-memory store executed inside the window, and
+* the full register file matches the golden snapshot at dyn ``d'``,
+
+the machine state is *provably* golden: the remaining suffix would
+re-execute the golden run byte-for-byte.  The monitor raises
+:class:`~repro.errors.ResyncReached` and the injector splices the golden
+suffix — outcome MASKED by construction, remaining write logs / iCnt
+reconstructed from golden artifacts — instead of executing it.
+
+Soundness argument (also encoded in ``tests/faults/test_resync.py``):
+
+* **PC contiguity** — the monitor fires at every instruction boundary
+  from the flip onward and disarms on the first PC that departs from the
+  golden trace, so the executed instruction sequence inside the window
+  is exactly the golden one.
+* **Write verification** — deltas of the (stable or per-segment) write
+  log are attributed to the instruction just executed and compared
+  positionally against the golden thread write log; any mismatch — value,
+  address, width, count — disarms.  Across barriers (classic CTA path)
+  and scalar-segment swaps (vector path) the monitor rebaselines instead
+  of attributing, which skips only *sibling* writes (siblings are golden:
+  every channel from the faulty registers to them is verified or
+  guarded).
+* **Shared-store guard** — :class:`~repro.gpu.memory.SharedMemory` has
+  no write log, so a post-flip shared store is verified at its *inputs*:
+  the monitor compares the registers the store reads (address base,
+  stored value, guard predicate) against the golden snapshot at the same
+  point and disarms before the store executes unless all of them match —
+  matching sources make the store's effect byte-identical to golden.
+* **Register match** — dict equality is unsound for ``-0.0``/``NaN``
+  (and int ``0`` vs float ``0.0``), so snapshots carrying such values
+  are compared strictly; golden ``NaN`` conservatively never matches
+  (payload preservation through the register file is not guaranteed).
+
+On top of the monitor sits a bounded-LRU **divergence-window memo**
+keyed by ``(path, thread, flip dyn, post-divergence state hash)``:
+sibling sites (same dynamic instruction, different bit) that collapse to
+the same divergent state reuse the suffix verdict outright — a hit
+splices (or abandons the scan) at the first post-flip observation.
+Thread-sliced memo hits replay the stored window reads into the caller's
+read log so interference checks stay decision-identical; CTA-path
+verdicts need no reads (the checkpoint-equivalence contract makes CTA
+state at any schedule point resume-independent).  Path tags keep
+thread-sliced verdicts away from CTA runs: the same flip can demote.
+
+:class:`GoldenStreamCache` captures the per-thread golden register
+stream, per-dyn cumulative write counts and the golden thread write log
+in one sliced replay per thread; :class:`PropagationTracer` consumes the
+same cache, so ``propagation=True`` and resync share the golden
+comparison instead of computing it twice.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import time
+
+from ..errors import ResyncReached
+from ..gpu import GPUSimulator
+from ..gpu.isa import Reg
+from ..telemetry import NULL_TELEMETRY
+
+#: Dynamic instructions after the flip the monitor will scan before
+#: abandoning the splice (the divergence-window bound).
+DEFAULT_RESYNC_WINDOW = 128
+
+#: Divergence-window memo entries kept (bounded LRU).
+DEFAULT_MEMO_CAPACITY = 4096
+
+#: Golden per-thread streams cached; cleared wholesale on overflow
+#: (campaigns hammer few threads, audits touch many once).
+_STREAM_CACHE_LIMIT = 32
+
+_MISSING = object()
+
+
+def _exact(value):
+    """Hashable encoding that distinguishes every architectural value.
+
+    Floats go through their IEEE-754 image so ``-0.0 != 0.0`` and NaN
+    payloads stay distinct; ints (and the 4-bit predicate codes) are
+    already exact.  An int never encodes equal to a float.
+    """
+    if isinstance(value, float):
+        return struct.pack("<d", value)
+    return value
+
+
+def _has_special(regs: dict) -> bool:
+    """Does plain dict equality under-distinguish this snapshot?
+
+    True when any value is NaN (``v != v``), a float zero (``-0.0 ==
+    0.0``) or an int zero (``0 == 0.0``) — those snapshots take the
+    strict element-wise comparison path.
+    """
+    for v in regs.values():
+        if v != v or v == 0:
+            return True
+    return False
+
+
+def _value_matches(v, g) -> bool:
+    """One architectural value vs its golden counterpart, exactly.
+
+    Sign-of-zero aware; golden NaN conservatively never matches (a NaN
+    payload round-trip through the register file is not guaranteed); an
+    int never matches a float.
+    """
+    if isinstance(g, float):
+        # g != v also rejects golden NaN.
+        if not isinstance(v, float) or g != v:
+            return False
+        if g == 0.0 and math.copysign(1.0, g) != math.copysign(1.0, v):
+            return False
+        return True
+    return not isinstance(v, float) and v == g
+
+
+def _strict_match(regs: dict, snap: dict) -> bool:
+    """Exact register-file equality (sign-of-zero aware, NaN-conservative)."""
+    if len(regs) != len(snap):
+        return False
+    for name, g in snap.items():
+        v = regs.get(name, _MISSING)
+        if v is _MISSING or not _value_matches(v, g):
+            return False
+    return True
+
+
+def control_pcs(program) -> tuple[frozenset, dict]:
+    """(barrier PCs, shared-store PC -> source register names) of a program.
+
+    Barrier PCs mark the only points where sibling writes can interleave
+    into a shared write log (rebaseline instead of attribute).  Shared
+    stores have no write log to verify against, so the monitor instead
+    checks the registers the store *reads* — address base, stored value,
+    guard predicate — against golden before one executes: matching
+    sources make the store's effect byte-identical to golden, anything
+    else disarms.
+    """
+    bars = set()
+    shared_stores: dict[int, tuple[str, ...]] = {}
+    for pc, insn in enumerate(program.instructions):
+        if insn.op == "bar.sync":
+            bars.add(pc)
+        elif insn.op == "st" and insn.srcs[0].space == "shared":
+            names = set()
+            if insn.srcs[0].base is not None:
+                names.add(insn.srcs[0].base.name)
+            value = insn.srcs[1]
+            if isinstance(value, Reg):
+                names.add(value.name)
+            if insn.guard is not None:
+                names.add(insn.guard.reg.name)
+            shared_stores[pc] = tuple(sorted(names))
+    return frozenset(bars), shared_stores
+
+
+class ThreadStream:
+    """One thread's golden observation stream.
+
+    ``snaps[d - 1]`` is the register file after the thread's first ``d``
+    instructions (same convention as the propagation tracer: dyn 0's
+    prior state is trivially empty, the post-exit state is unobservable
+    and irrelevant).  ``special[d - 1]`` flags snapshots needing the
+    strict comparison; ``counts[d - 1]`` is the thread's cumulative
+    golden global-write count at the same point; ``writes`` is its full
+    golden write log and ``total`` its golden iCnt.
+    """
+
+    __slots__ = ("snaps", "special", "counts", "writes", "total")
+
+    def __init__(self, snaps, special, counts, writes, total):
+        self.snaps = snaps
+        self.special = special
+        self.counts = counts
+        self.writes = writes
+        self.total = total
+
+
+class GoldenStreamCache:
+    """Per-thread golden streams shared by resync and propagation.
+
+    Captured with a private ``NULL_TELEMETRY`` simulator so campaign
+    metrics, events and instruction counters stay byte-identical with
+    the layer on or off.  Sliceable CTAs capture via the cheaper
+    single-thread replay; others replay the owning CTA.
+    """
+
+    def __init__(self, injector) -> None:
+        self._injector = injector
+        self._sim = GPUSimulator(
+            telemetry=NULL_TELEMETRY, backend=injector.backend
+        )
+        self._streams: dict[int, ThreadStream] = {}
+        self.capture_s = 0.0
+        self.captures = 0
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def stream(self, thread: int) -> ThreadStream:
+        cached = self._streams.get(thread)
+        if cached is not None:
+            return cached
+        if len(self._streams) >= _STREAM_CACHE_LIMIT:
+            self._streams.clear()
+        stream = self._capture(thread)
+        self._streams[thread] = stream
+        return stream
+
+    def _capture(self, thread: int) -> ThreadStream:
+        injector = self._injector
+        instance = injector.instance
+        geometry = instance.geometry
+        cta = geometry.cta_of_thread(thread)
+        memory = injector._scratch_memory
+        snaps: list[dict] = []
+        special: list[bool] = []
+        counts: list[int] = []
+        # Per-thread write attribution: with ``record_thread_write_logs``
+        # the CTA scheduler swaps a fresh segment list into
+        # ``memory.write_log`` for every run-to-barrier segment of every
+        # thread, so at a fire the current log holds exactly this
+        # thread's writes of the current segment.  Completed segments
+        # are accumulated by identity change (the strong reference keeps
+        # the finished list alive and un-aliased).
+        state = {"acc": 0, "last": None}
+
+        def sink(dyn: int, pc: int, regs: dict) -> None:
+            cur = memory.write_log
+            if cur is not state["last"]:
+                if state["last"] is not None:
+                    state["acc"] += len(state["last"])
+                state["last"] = cur
+            snaps.append(dict(regs))
+            special.append(_has_special(regs))
+            counts.append(state["acc"] + (len(cur) if cur is not None else 0))
+
+        slicing = {"only_thread": thread} if injector._cta_sliceable[cta] else {
+            "only_cta": cta
+        }
+        t0 = time.perf_counter()
+        result = self._sim.launch(
+            instance.program,
+            instance.geometry,
+            instance.param_bytes,
+            memory=memory,
+            record_write_logs=True,
+            record_thread_write_logs=True,
+            max_steps=injector._cta_budget[cta],
+            step_trace=(thread, sink),
+            **slicing,
+        )
+        memory.revert_writes(
+            result.cta_write_logs[cta], instance.initial_memory
+        )
+        self.capture_s += time.perf_counter() - t0
+        self.captures += 1
+        return ThreadStream(
+            snaps,
+            special,
+            counts,
+            result.thread_write_logs[thread],
+            len(injector.traces[thread]),
+        )
+
+
+class ResyncMemo:
+    """Bounded-LRU divergence-window memo.
+
+    Values are verdict tuples: ``("splice", resync_dyn, window_reads)``
+    or ``("none",)``.  Sound because the key pins the complete machine
+    state at the first post-flip observation — same path kind, same
+    thread, same flip, same register deltas vs golden, and (established
+    by the monitor before the key is computed) golden memory — and the
+    simulator is deterministic from there.
+    """
+
+    __slots__ = ("capacity", "_entries", "evicted")
+
+    def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: dict = {}
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            # dicts preserve insertion order: re-insert to mark recency.
+            del self._entries[key]
+            self._entries[key] = entry
+        return entry
+
+    def put(self, key, verdict) -> None:
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            oldest = next(iter(entries))
+            del entries[oldest]
+            self.evicted += 1
+        entries[key] = verdict
+
+
+class ResyncMonitor:
+    """Per-injection convergence monitor (one per faulty run).
+
+    Installed as a return-driven checkpoint sink: fires once at the flip
+    (arming — state is still golden at the loop head) and then at every
+    instruction boundary until it splices, disarms, or the window bound
+    trips.  ``observe`` returns the next fire index (``-1`` disarms) or
+    raises :class:`ResyncReached`.
+    """
+
+    __slots__ = (
+        "stream", "trace", "flip", "window", "memory", "read_log",
+        "memo", "path_tag", "thread", "bar_pcs", "shared_store_pcs",
+        "armed", "resolution", "scan_s", "_t0", "_last_list", "_last_len",
+        "_cum", "_key", "_read_base", "memo_checked", "memo_hit",
+        "resync_dyn", "window_span",
+    )
+
+    def __init__(
+        self,
+        thread: int,
+        stream: ThreadStream,
+        trace,
+        flip: int,
+        window: int,
+        memory,
+        memo: ResyncMemo | None,
+        path_tag: str,
+        bar_pcs: frozenset,
+        shared_store_pcs: frozenset,
+        read_log: list | None = None,
+    ) -> None:
+        self.thread = thread
+        self.stream = stream
+        self.trace = trace
+        self.flip = flip
+        self.window = window
+        self.memory = memory
+        self.read_log = read_log
+        self.memo = memo
+        self.path_tag = path_tag
+        self.bar_pcs = bar_pcs
+        self.shared_store_pcs = shared_store_pcs
+        self.armed = False
+        self.resolution: str | None = None
+        self.scan_s = 0.0
+        self._t0 = 0.0
+        self._last_list = None
+        self._last_len = 0
+        self._cum = 0
+        self._key = None
+        self._read_base = 0
+        self.memo_checked = False
+        self.memo_hit = False
+        self.resync_dyn: int | None = None
+        self.window_span = 0
+
+    # ------------------------------------------------------------- sink
+
+    def observe(self, dyn: int, pc: int, regs: dict) -> int:
+        """The per-instruction sink body; see the class docstring."""
+        if dyn == self.flip:
+            return self._arm(pc)
+        if not self.armed:  # pragma: no cover - defensive
+            return -1
+        trace = self.trace
+        stream = self.stream
+        # (1) PC contiguity: the upcoming instruction must be the golden
+        # one; running past the golden length is control divergence too.
+        if dyn >= len(trace) or pc != trace[dyn][0]:
+            return self._disarm(dyn, "divergence")
+        # (2) Attribute and verify the write-log delta of the
+        # just-executed instruction.  Identity change = segment swap
+        # (vector scalar demotion / golden capture); barrier PC =
+        # sibling writes interleaved (classic CTA): rebaseline, don't
+        # attribute — in both regimes the skipped entries are provably
+        # not this thread's (bar.sync writes nothing).
+        cur = self.memory.write_log
+        if cur is not self._last_list or trace[dyn - 1][0] in self.bar_pcs:
+            self._last_list = cur
+            self._last_len = len(cur) if cur is not None else 0
+        elif cur is not None and len(cur) > self._last_len:
+            delta = cur[self._last_len :]
+            cum = self._cum
+            end = cum + len(delta)
+            golden = stream.writes
+            if end > len(golden) or golden[cum:end] != delta:
+                return self._disarm(dyn, "write-mismatch")
+            self._cum = end
+            self._last_len = len(cur)
+        # (3) First post-flip observation: the full divergent state is
+        # now pinned (registers visible, memory verified golden) — the
+        # memo key is sound from here.
+        if dyn == self.flip + 1 and self.memo is not None:
+            self._key = (
+                self.path_tag,
+                self.thread,
+                self.flip,
+                self._signature(pc, regs),
+            )
+            self.memo_checked = True
+            entry = self.memo.get(self._key)
+            if entry is not None:
+                self.memo_hit = True
+                if entry[0] == "splice":
+                    self._resolve(dyn, "memo-splice")
+                    self.resync_dyn = entry[1]
+                    raise ResyncReached(
+                        entry[1], self.flip,
+                        from_memo=True, window_reads=entry[2],
+                    )
+                return self._disarm(dyn, "memo-none")
+            if self.read_log is not None:
+                self._read_base = len(self.read_log)
+        # (4) Splice check: registers match golden AND every golden
+        # write so far has been issued and verified.
+        snap = stream.snaps[dyn - 1]
+        if stream.special[dyn - 1]:
+            match = _strict_match(regs, snap)
+        else:
+            match = regs == snap
+        if match and self._cum == stream.counts[dyn - 1]:
+            if self.memo is not None and self._key is not None:
+                reads = (
+                    tuple(self.read_log[self._read_base :])
+                    if self.read_log is not None
+                    else ()
+                )
+                self.memo.put(self._key, ("splice", dyn, reads))
+            self._resolve(dyn, "splice")
+            self.resync_dyn = dyn
+            raise ResyncReached(dyn, self.flip)
+        # (5) Shared-store guard: the upcoming instruction is a shared
+        # store, whose effect no write log records.  It is provably
+        # golden iff every register it reads — address base, stored
+        # value, guard predicate — matches golden right now (unset
+        # registers read as integer 0 in both runs); otherwise disarm
+        # before a corrupt value or address escapes into shared memory.
+        store_srcs = self.shared_store_pcs.get(trace[dyn][0])
+        if store_srcs is not None:
+            for name in store_srcs:
+                if not _value_matches(regs.get(name, 0), snap.get(name, 0)):
+                    return self._disarm(dyn, "shared-store")
+        # (6) Window bound.
+        if dyn - self.flip >= self.window:
+            return self._disarm(dyn, "window")
+        return dyn + 1
+
+    # ---------------------------------------------------------- internals
+
+    def _arm(self, pc: int) -> int:
+        # Re-arming resets everything: a vectorized attempt that fell
+        # back to the compiled path re-fires the monitor from the flip.
+        self.armed = True
+        self.resolution = None
+        self._t0 = time.perf_counter()
+        cur = self.memory.write_log
+        self._last_list = cur
+        self._last_len = len(cur) if cur is not None else 0
+        flip = self.flip
+        self._cum = self.stream.counts[flip - 1] if flip > 0 else 0
+        self._key = None
+        self._read_base = 0
+        # The flip instruction itself may be a shared store issuing a
+        # corrupted value or address — unverifiable, never arm.
+        if pc in self.shared_store_pcs:
+            return self._disarm(flip, "shared-store")
+        return flip + 1
+
+    def _signature(self, pc: int, regs: dict):
+        """Exact register deltas vs the golden state at the same point."""
+        golden = self.stream.snaps[self.flip]
+        deltas = []
+        for name in golden.keys() | regs.keys():
+            g = golden.get(name, _MISSING)
+            v = regs.get(name, _MISSING)
+            if g is _MISSING:
+                deltas.append((name, b"+", _exact(v)))
+            elif v is _MISSING:
+                deltas.append((name, b"-", b""))
+            elif _exact(v) != _exact(g):
+                deltas.append((name, b"=", _exact(v)))
+        deltas.sort(key=lambda item: item[0])
+        return (pc, tuple(deltas))
+
+    def _disarm(self, dyn: int, why: str) -> int:
+        if self.memo is not None and self._key is not None:
+            self.memo.put(self._key, ("none",))
+        self._resolve(dyn, why)
+        return -1
+
+    def _resolve(self, dyn: int, why: str) -> None:
+        self.armed = False
+        self.resolution = why
+        self.window_span = max(dyn - self.flip, 0)
+        self.scan_s += time.perf_counter() - self._t0
+
+    def finalize(self) -> None:
+        """Close out a monitor whose run ended while it was armed.
+
+        The thread exited (or crashed / hung) inside the window without
+        reconverging — a miss.  Sound to memoise: a sibling collapsing
+        to the same state meets the same deterministic fate.
+        """
+        if self.armed:
+            if self.memo is not None and self._key is not None:
+                self.memo.put(self._key, ("none",))
+            self._resolve(self.flip + self.window, "exit")

@@ -37,6 +37,12 @@ HISTORY_FILENAME = "history.jsonl"
 #: Allowed drift around the baseline before a run counts as a regression.
 DEFAULT_TOLERANCE = 0.25
 
+#: Prior observations a series needs before a regression verdict is
+#: *blocking*.  A median over one or two samples is too noisy to gate a
+#: merge on — thinner series still report ``regression`` but carry
+#: ``advisory=True`` so callers exit clean (with a warning).
+MIN_BLOCKING_SAMPLES = 3
+
 _DIRECTIONS = ("lower", "higher")
 
 
@@ -161,7 +167,10 @@ def check_history(
 
     Returns one finding per ``(suite, kernel, metric)`` series:
     ``status`` is ``ok``, ``improved``, ``regression`` or ``no-baseline``;
-    ``baseline`` is the median of all observations before the newest.
+    ``baseline`` is the median of all observations before the newest and
+    ``baseline_samples`` how many observations built it.  A regression
+    backed by fewer than :data:`MIN_BLOCKING_SAMPLES` prior observations
+    is flagged ``advisory=True`` — report it, don't gate on it.
     An empty history raises — a check against nothing is a misconfigured
     CI job, not a pass.
 
@@ -203,8 +212,11 @@ def check_history(
             "direction": newest["direction"],
             "observations": len(items),
         }
+        finding["baseline_samples"] = len(prior)
         if not prior:
-            finding.update(status="no-baseline", baseline=None, ratio=None)
+            finding.update(
+                status="no-baseline", baseline=None, ratio=None, advisory=False
+            )
             findings.append(finding)
             continue
         baseline = _median(prior)
@@ -226,5 +238,9 @@ def check_history(
                 finding["status"] = "improved"
             else:
                 finding["status"] = "ok"
+        finding["advisory"] = (
+            finding["status"] == "regression"
+            and len(prior) < MIN_BLOCKING_SAMPLES
+        )
         findings.append(finding)
     return findings

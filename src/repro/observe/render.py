@@ -45,6 +45,12 @@ def render_text(report: dict) -> str:
         lines.append(
             f"  suffix instructions executed: {meta['suffix_instructions']:,}"
         )
+    if meta.get("effective_instructions"):
+        lines.append(
+            f"  effective instructions covered:"
+            f" {meta['effective_instructions']:,}"
+            f" (spliced {meta.get('spliced_instructions', 0):,})"
+        )
 
     lines.append("")
     lines.append(f"outcomes (Wilson {_pct(meta['confidence'])} CI):")
@@ -103,6 +109,26 @@ def render_text(report: dict) -> str:
             f" / {checkpoint['store_bytes'] / (1 << 20):.1f} MiB"
             f" ({checkpoint['store_evicted']:.0f} evicted,"
             f" capture {checkpoint['capture_s']:.3f}s)"
+        )
+
+    resync = report.get("resync")
+    if resync:
+        lines.append("")
+        lines.append(
+            f"resync: splice-rate={_pct(resync['splice_rate'])}"
+            f" ({resync['hits']}/{resync['hits'] + resync['misses']})"
+            f"  memo hit-rate={_pct(resync['memo_hit_rate'])}"
+            f" ({resync['memo_hits']}/{resync['memo_hits'] + resync['memo_misses']})"
+        )
+        lines.append(
+            f"  spliced {resync['spliced_instructions']:,.0f} /"
+            f" skipped {resync['skipped_instructions']:,.0f} golden"
+            f" instructions; scanned"
+            f" {resync['window_instructions']:,.0f} in-window"
+            f" (memo {resync['memo_entries']:.0f} entries,"
+            f" {resync['memo_evicted']:.0f} evicted;"
+            f" capture {resync['capture_s']:.3f}s"
+            f" / {resync['captures']:.0f} streams)"
         )
 
     compiled = report["compiled"]
@@ -290,6 +316,17 @@ def render_markdown(report: dict) -> str:
             f"{checkpoint['skipped_instructions']:,.0f} golden instructions, "
             f"store {checkpoint['store_entries']:.0f} entries / "
             f"{checkpoint['store_bytes'] / (1 << 20):.1f} MiB."
+        )
+
+    resync = report.get("resync")
+    if resync:
+        out += ["", "## Resync", ""]
+        out.append(
+            f"Splice rate {_pct(resync['splice_rate'])} "
+            f"({resync['hits']} splices / {resync['misses']} misses), "
+            f"memo hit rate {_pct(resync['memo_hit_rate'])}, "
+            f"spliced {resync['spliced_instructions']:,.0f} and skipped "
+            f"{resync['skipped_instructions']:,.0f} golden instructions."
         )
 
     compiled = report["compiled"]

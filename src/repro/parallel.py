@@ -35,6 +35,7 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+from .faults.resync import DEFAULT_RESYNC_WINDOW
 from .telemetry import NULL_TELEMETRY, MemorySink, Telemetry, event_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> parallel)
@@ -156,6 +157,10 @@ def _build_payload(injector: "FaultInjector") -> dict | None:
         # Provenance tracing travels with the campaign: records stream
         # back inside each worker's InjectionEvents (snapshot absorb).
         "propagation": injector.propagation,
+        # Resync travels too: each worker keeps its own divergence-window
+        # memo (keys are deterministic, so verdicts agree across workers).
+        "resync": injector.resync,
+        "resync_window": injector.resync_window,
     }
     try:
         # Golden handoff: workers rebuild the final heap from these logs
@@ -204,6 +209,8 @@ def _init_worker(payload: dict) -> None:
         backend=payload.get("backend", "interpreter"),
         golden=golden,
         propagation=payload.get("propagation", False),
+        resync=payload.get("resync", False),
+        resync_window=payload.get("resync_window", DEFAULT_RESYNC_WINDOW),
     )
     _WORKER_TELEMETRY = telemetry
 

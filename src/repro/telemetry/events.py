@@ -34,7 +34,10 @@ from ..errors import ReproError
 #: *newer* schema (older files stay readable — new fields have defaults).
 #: v3 added the ``propagation`` payload and ``group`` tag on
 #: :class:`InjectionEvent` (fault-propagation provenance tracing).
-EVENTS_SCHEMA_VERSION = 3
+#: v4 added ``effective_instructions``/``spliced_instructions`` on
+#: :class:`InjectionEvent` and the ``resync_scan``/``suffix_splice``
+#: phases (convergence-bounded injection with golden-suffix splicing).
+EVENTS_SCHEMA_VERSION = 4
 
 #: Per-injection phase names, in pipeline order.  ``InjectionEvent.phases``
 #: maps a subset of these to seconds spent (phases that did not occur —
@@ -44,6 +47,8 @@ PHASE_NAMES = (
     "checkpoint_restore",
     "prefix_replay",
     "suffix_exec",
+    "resync_scan",
+    "suffix_splice",
     "heap_repair",
     "classify",
     "propagation_trace",
@@ -88,6 +93,11 @@ class InjectionEvent(TelemetryEvent):
     backend: str = "interpreter"  # "interpreter" | "compiled"
     checkpoint_interval: int = 0  # 0 = checkpointing disabled
     suffix_instructions: int = 0  # instructions actually executed (suffix only)
+    #: Effective dynamic instruction count the injection *accounts for*:
+    #: executed suffix + checkpoint-skipped prefix + resync-spliced golden
+    #: suffix.  0 when neither checkpointing nor resync contributed.
+    effective_instructions: int = 0
+    spliced_instructions: int = 0  # golden suffix reconstructed via resync
     phases: dict | None = None  # phase name -> seconds (see PHASE_NAMES)
     worker: str | None = None  # pool worker name; None when serial
     #: Propagation-trace payload (PropagationRecord.to_dict()); None when

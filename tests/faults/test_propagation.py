@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
 import pytest
 
 from repro import FaultInjector, load_instance, random_campaign
@@ -280,3 +281,33 @@ class TestParseSite:
             parse_site("t1/i2")
         with pytest.raises(ReproError):
             parse_site("xyz:t0/i0/b0")
+
+    def test_round_trip_property(self):
+        """parse_site(str(site)) == site over randomly drawn sites of
+        all three forms (thread/dyn/bit ranges spanning realistic
+        campaigns, register names covering the grammar)."""
+        rng = np.random.default_rng(20180631 % (1 << 31))
+        alphabet = (
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+        )
+        digits = alphabet + "0123456789"
+        for _ in range(300):
+            thread = int(rng.integers(0, 1 << 20))
+            dyn = int(rng.integers(0, 1 << 24))
+            bit = int(rng.integers(0, 64))
+            kind = int(rng.integers(3))
+            if kind == 0:
+                site = FaultSite(thread, dyn, bit)
+            elif kind == 1:
+                site = StoreAddressSite(thread, dyn, bit)
+            else:
+                head = alphabet[int(rng.integers(len(alphabet)))]
+                tail = "".join(
+                    digits[int(rng.integers(len(digits)))]
+                    for _ in range(int(rng.integers(0, 8)))
+                )
+                site = RegisterFileSite(thread, dyn, head + tail, bit)
+            parsed = parse_site(str(site))
+            assert parsed == site
+            assert type(parsed) is type(site)

@@ -310,3 +310,35 @@ def test_fuzzed_injection_outcomes_identical(seed, backend):
         assert interp.inject_spec(site.thread, spec) == candidate.inject_spec(
             site.thread, spec
         ), site
+
+
+@pytest.mark.parametrize("backend", ["interpreter", "compiled", "vectorized"])
+@pytest.mark.parametrize("seed", [1, 4, 7])
+def test_fuzzed_injection_outcomes_identical_with_resync(seed, backend):
+    """Golden-resync splicing changes nothing observable on random
+    programs: every fault model's outcome matches a resync-off reference
+    on the same backend.  Fuzzed programs hit the hostile cases —
+    barriers inside loops, divergent guards, shared-memory traffic —
+    where an unsound splice would first show up."""
+    instance = build_fuzz_instance(seed)
+    reference = FaultInjector(instance, verify_golden=False, backend=backend)
+    resynced = FaultInjector(
+        instance, verify_golden=False, backend=backend, resync=True
+    )
+    rng = np.random.default_rng(seed)
+
+    for site in reference.space.sample(24, rng):  # VALUE
+        assert reference.inject(site) == resynced.inject(site), site
+    thread = max(
+        range(len(reference.traces)), key=lambda t: len(reference.traces[t])
+    )
+    for site in reference.store_address_sites(thread)[:12]:  # STORE_ADDRESS
+        spec = site.spec()
+        assert reference.inject_spec(site.thread, spec) == resynced.inject_spec(
+            site.thread, spec
+        ), site
+    for site in reference.sample_register_file_sites(12, rng):  # REGISTER_FILE
+        spec = site.spec()
+        assert reference.inject_spec(site.thread, spec) == resynced.inject_spec(
+            site.thread, spec
+        ), site

@@ -187,7 +187,7 @@ class TestBenchCheckCli:
     def test_exit_codes_and_advisory(self, tmp_path, capsys):
         from repro.__main__ import main
 
-        _seed(tmp_path, [1.0, 1.0, 5.0])
+        _seed(tmp_path, [1.0, 1.0, 1.0, 5.0])
         assert main(["bench-check", "--results-dir", str(tmp_path)]) == 1
         assert "regression" in capsys.readouterr().out
         assert main(
@@ -197,6 +197,27 @@ class TestBenchCheckCli:
             ["bench-check", "--results-dir", str(tmp_path),
              "--tolerance", "10.0"]
         ) == 0
+
+    def test_thin_baseline_regression_is_advisory(self, tmp_path, capsys):
+        """A regression backed by fewer than MIN_BLOCKING_SAMPLES prior
+        observations reports but does not gate."""
+        from repro.__main__ import main
+
+        _seed(tmp_path, [1.0, 1.0, 5.0])  # two baseline samples only
+        assert main(["bench-check", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "advisory" in out
+        assert "WARNING" in out
+        assert main(
+            ["bench-check", "--results-dir", str(tmp_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == 1
+        assert payload["blocking"] == 0
+        (finding,) = payload["findings"]
+        assert finding["status"] == "regression"
+        assert finding["advisory"] is True
+        assert finding["baseline_samples"] == 2
 
     def test_json_output(self, tmp_path, capsys):
         from repro.__main__ import main
