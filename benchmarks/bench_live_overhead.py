@@ -1,0 +1,86 @@
+"""Engineering bench — live streaming plane overhead on a real campaign.
+
+The live control plane (``repro.observe.live``) rides the injection hot
+path: every classified injection builds a delta record, reads five
+counters, appends to a ring and pushes to the aggregator.  Its pitch is
+"low-overhead"; this bench pins that claim.
+
+Two arms per backend (interpreter and vectorized), same seed:
+
+* **off**  — the campaign exactly as an uninstrumented user runs it;
+* **live** — the same campaign with a :class:`LiveAggregator` attached
+  (aggregator only — no HTTP server or status file, matching what
+  ``run_campaign(live=...)`` itself costs; the front-ends poll on their
+  own threads and never touch the injection loop).
+
+Asserts the live arm stays within ``MAX_LIVE_OVERHEAD`` (5 %) of off on
+every backend, and records ms/injection for both arms to
+``benchmarks/results/history.jsonl`` + ``BENCH_live.json`` so
+``repro bench-check`` gates drift over time.
+"""
+
+import time
+
+from benchmarks.common import append_history, emit
+from repro import FaultInjector, load_instance, random_campaign
+from repro.observe.live import LiveAggregator
+
+KEY = "pathfinder.k1"
+N_SITES = 60
+ROUNDS = 3
+SEED = 7
+BACKENDS = ("interpreter", "vectorized")
+MAX_LIVE_OVERHEAD = 0.05
+
+
+def _time_campaign(backend: str, live: bool) -> tuple[float, LiveAggregator | None]:
+    """Best-of-``ROUNDS`` wall clock for one campaign arm."""
+    best = float("inf")
+    aggregator = None
+    for _ in range(ROUNDS):
+        injector = FaultInjector(load_instance(KEY), backend=backend)
+        injector.inject(injector.space.site_at(0))  # warm golden caches
+        arm = LiveAggregator() if live else None
+        t0 = time.perf_counter()
+        random_campaign(injector, N_SITES, rng=SEED, live=arm)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            aggregator = arm
+    return best, aggregator
+
+
+def run_live_overhead() -> str:
+    lines = [f"{KEY}: {N_SITES} random injections, best of {ROUNDS} rounds"]
+    for backend in BACKENDS:
+        t_off, _ = _time_campaign(backend, live=False)
+        t_live, aggregator = _time_campaign(backend, live=True)
+        overhead = t_live / t_off - 1.0
+        lines.append(
+            f"  {backend:12s} off: {1000 * t_off / N_SITES:7.3f} ms/inj   "
+            f"live: {1000 * t_live / N_SITES:7.3f} ms/inj   "
+            f"overhead {100 * overhead:+.2f}%"
+        )
+        assert aggregator is not None and aggregator.done == N_SITES, (
+            f"{backend}: live aggregator saw {aggregator and aggregator.done} "
+            f"of {N_SITES} injections"
+        )
+        assert overhead < MAX_LIVE_OVERHEAD, (
+            f"{backend}: live-plane overhead {100 * overhead:.2f}% exceeds "
+            f"{100 * MAX_LIVE_OVERHEAD:.0f}%"
+        )
+        append_history(
+            "live", "off_ms_per_injection", 1000 * t_off / N_SITES,
+            kernel=f"{KEY}[{backend}]", unit="ms", direction="lower",
+        )
+        append_history(
+            "live", "live_ms_per_injection", 1000 * t_live / N_SITES,
+            kernel=f"{KEY}[{backend}]", unit="ms", direction="lower",
+        )
+    return "\n".join(lines)
+
+
+def test_live_overhead(benchmark):
+    text = benchmark.pedantic(run_live_overhead, rounds=1, iterations=1)
+    emit("live", text)
+    assert "overhead" in text

@@ -15,6 +15,9 @@ Commands:
   compares two report JSONs.
 * ``trace-fault`` — deep-dive one injection's propagation: corruption
   lineage, divergence/masking points, heap and output geometry.
+* ``watch``    — in-terminal live dashboard for a running campaign:
+  point it at a ``--live-status`` file, a ``--live-port`` port, or a
+  full ``/status`` URL.
 * ``bench-check`` — compare the newest benchmark observations against
   ``benchmarks/results/history.jsonl`` (host-keyed baselines; ``--host``
   overrides) and fail on regressions.
@@ -26,6 +29,15 @@ writes an auditable run manifest (config, git rev, versions, profile,
 wall clock, metrics) — see ``docs/observability.md``.  ``--workers N``
 fans the campaign's injections over N worker processes (see
 ``docs/performance.md``); profiles are identical to serial runs.
+
+``profile``/``baseline``/``metrics`` additionally accept the live
+monitoring flags: ``--live-port``/``--live-status`` expose rolling
+campaign status (outcome shares with Wilson CIs, per-worker liveness,
+throughput) while the campaign runs, ``--until-ci`` adds the sequential
+convergence signal (and stops sampled campaigns early at the target),
+and ``--flight-recorder`` writes a post-mortem dump if the campaign
+dies.  The live plane is advisory — profiles are byte-identical with it
+on or off.
 """
 
 from __future__ import annotations
@@ -83,6 +95,13 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
         "profiles are identical either way)",
     )
     sub.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --workers pools "
+        "(default: fork where available)",
+    )
+    sub.add_argument(
         "--checkpoint-interval",
         metavar="K",
         default="auto",
@@ -131,6 +150,49 @@ def _add_instrumentation_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_live_args(sub: argparse.ArgumentParser) -> None:
+    live = sub.add_argument_group("live monitoring")
+    live.add_argument(
+        "--live-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve rolling campaign status over HTTP on 127.0.0.1:PORT "
+        "(/status JSON + self-refreshing HTML dashboard; 0 binds an "
+        "ephemeral port, printed to stderr)",
+    )
+    live.add_argument(
+        "--live-status",
+        metavar="PATH",
+        default=None,
+        help="write rolling JSON status snapshots to PATH (atomic "
+        "replace; point 'repro watch PATH' at it)",
+    )
+    live.add_argument(
+        "--until-ci",
+        type=float,
+        metavar="HW",
+        default=None,
+        help="convergence target: report 'converged' once every outcome "
+        "share's Wilson CI half-width is at most HW (0.03 = ±3pp); "
+        "sampled campaigns (baseline/metrics) also stop early there",
+    )
+    live.add_argument(
+        "--flight-recorder",
+        metavar="PATH",
+        default=None,
+        help="if the campaign crashes, write a post-mortem dump "
+        "(recent-event rings, crash site, final status, manifest) to PATH",
+    )
+    live.add_argument(
+        "--no-live",
+        action="store_true",
+        help="disable the streaming plane even when other live flags are "
+        "set (--until-ci still reports convergence from the outcome "
+        "stream)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "propagation-signature coherence (implies --propagation; serial)",
     )
     _add_instrumentation_args(profile)
+    _add_live_args(profile)
 
     baseline = sub.add_parser("baseline", help="random statistical baseline")
     baseline.add_argument("kernel")
@@ -165,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
     baseline.add_argument("--margin", type=float, default=0.03)
     baseline.add_argument("--seed", type=int, default=2018)
     _add_instrumentation_args(baseline)
+    _add_live_args(baseline)
 
     stages = sub.add_parser("stages", help="per-stage site reduction")
     stages.add_argument("kernel")
@@ -179,6 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--runs", type=int, default=30, help="random injections")
     metrics.add_argument("--seed", type=int, default=2018)
     _add_instrumentation_args(metrics)
+    _add_live_args(metrics)
 
     report = sub.add_parser(
         "report",
@@ -250,6 +315,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the raw record as JSON"
     )
 
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="in-terminal live dashboard for a running campaign",
+    )
+    watch_cmd.add_argument(
+        "target",
+        help="where the campaign publishes status: a --live-status file "
+        "path, a --live-port port number (local), host:port, or a full "
+        "http(s) URL",
+    )
+    watch_cmd.add_argument(
+        "--interval",
+        type=float,
+        metavar="S",
+        default=1.0,
+        help="seconds between refreshes",
+    )
+    watch_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit",
+    )
+    watch_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw status JSON instead of the dashboard",
+    )
+    watch_cmd.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        default=None,
+        help="give up after S seconds if the target never appears "
+        "(default: wait forever)",
+    )
+
     bench = sub.add_parser(
         "bench-check",
         help="check newest benchmark results against the recorded history",
@@ -299,11 +400,99 @@ def _checkpoint_kwargs(args) -> dict:
     }
 
 
+def _live_wanted(args) -> bool:
+    """Any live-monitoring flag set (and not ``--no-live``)?"""
+    if not hasattr(args, "live_port") or getattr(args, "no_live", False):
+        return False
+    return (
+        args.live_port is not None
+        or bool(args.live_status)
+        or bool(args.flight_recorder)
+        or args.until_ci is not None
+    )
+
+
+def _live_config(args) -> dict:
+    """Manifest config entries for the live flags — only keys actually
+    set, so manifests from live-less runs are byte-identical to before."""
+    config: dict = {}
+    if getattr(args, "start_method", None):
+        config["start_method"] = args.start_method
+    if not hasattr(args, "live_port"):
+        return config
+    if args.live_port is not None:
+        config["live_port"] = args.live_port
+    if args.live_status:
+        config["live_status"] = args.live_status
+    if args.until_ci is not None:
+        config["until_ci"] = args.until_ci
+    if args.flight_recorder:
+        config["flight_recorder"] = args.flight_recorder
+    return config
+
+
+class _LivePlane:
+    """One campaign's live plane: the aggregator plus its front-ends."""
+
+    def __init__(self, aggregator, server=None, writer=None):
+        self.aggregator = aggregator
+        self.server = server
+        self.writer = writer
+
+    def close(self) -> None:
+        # Writer first: its final flush records the terminal state before
+        # the HTTP endpoint disappears.
+        if self.writer is not None:
+            self.writer.stop()
+        if self.server is not None:
+            self.server.stop()
+
+
+def _make_live(args, manifest: RunManifest | None = None) -> _LivePlane | None:
+    """Build the live plane when any live flag asks for it."""
+    if not _live_wanted(args):
+        return None
+    from .observe.live import FlightRecorder, LiveAggregator
+    from .observe.statusd import StatusFileWriter, StatusServer
+
+    aggregator = LiveAggregator(until_ci=args.until_ci)
+    if args.flight_recorder:
+        aggregator.flight_recorder = FlightRecorder(
+            args.flight_recorder, manifest=manifest
+        )
+    server = None
+    if args.live_port is not None:
+        server = StatusServer(aggregator, port=args.live_port)
+        server.start()
+        print(f"live status: {server.url}", file=sys.stderr)
+    writer = None
+    if args.live_status:
+        writer = StatusFileWriter(aggregator, args.live_status)
+        writer.start()
+    return _LivePlane(aggregator, server=server, writer=writer)
+
+
+def _print_convergence(args, result) -> None:
+    """One line on the ``--until-ci`` verdict after a sampled campaign."""
+    if getattr(args, "until_ci", None) is None:
+        return
+    target = f"±{100 * args.until_ci:.1f}pp"
+    if result.stopped_early:
+        print(
+            f"converged: every outcome share within {target} after "
+            f"{result.profile.n_injections} injections — stopped early"
+        )
+    elif result.converged:
+        print(f"converged: every outcome share within {target}")
+    else:
+        print(f"not converged: outcome shares wider than {target}")
+
+
 def _make_telemetry(args) -> Telemetry:
     """A live Telemetry when any instrumentation flag is set, else null."""
     if args.telemetry_out:
         return Telemetry(sink=JsonlSink(args.telemetry_out))
-    if args.manifest or args.progress:
+    if args.manifest or args.progress or _live_wanted(args):
         return Telemetry(sink=NullSink())
     return NULL_TELEMETRY
 
@@ -383,6 +572,7 @@ def cmd_profile(args) -> int:
                 "resync": args.resync,
                 "resync_window": args.resync_window,
                 "audit_groups": args.audit_groups,
+                **_live_config(args),
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -396,15 +586,33 @@ def cmd_profile(args) -> int:
     )
     space = pruner.prune(injector)
     progress = _make_progress(args, label=f"{args.kernel} injections")
-    profile = space.estimate_profile(
-        injector, executor=resolve_executor(args.workers), progress=progress
-    )
+    plane = _make_live(args, manifest=manifest)
+    try:
+        profile = space.estimate_profile(
+            injector,
+            executor=resolve_executor(
+                args.workers, start_method=args.start_method
+            ),
+            progress=progress,
+            live=plane.aggregator if plane is not None else None,
+            until_ci=args.until_ci,
+        )
+    finally:
+        if plane is not None:
+            plane.close()
     if progress is not None:
         progress.close()
     print(f"{args.kernel}: {space.total_sites:,} sites -> "
           f"{space.n_injections:,} injections "
           f"({space.reduction_factor():,.0f}x)")
     print(profile)
+    if args.until_ci is not None and plane is not None:
+        conv = plane.aggregator.snapshot()["convergence"]
+        target = f"±{100 * args.until_ci:.1f}pp"
+        if conv["converged"]:
+            print(f"converged: every outcome share within {target}")
+        else:
+            print(f"not converged: outcome shares wider than {target}")
     if args.audit_groups:
         from .faults import run_coherence_audit
 
@@ -443,6 +651,7 @@ def cmd_baseline(args) -> int:
                 "backend": args.backend,
                 "resync": args.resync,
                 "resync_window": args.resync_window,
+                **_live_config(args),
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -452,18 +661,29 @@ def cmd_baseline(args) -> int:
         load_instance(args.kernel), telemetry=telemetry, **_checkpoint_kwargs(args)
     )
     progress = _make_progress(args, label=f"{args.kernel} baseline")
-    result = random_campaign(
-        injector,
-        n,
-        rng=args.seed,
-        executor=resolve_executor(args.workers),
-        progress=progress,
-    )
+    plane = _make_live(args, manifest=manifest)
+    try:
+        result = random_campaign(
+            injector,
+            n,
+            rng=args.seed,
+            executor=resolve_executor(
+                args.workers, start_method=args.start_method
+            ),
+            progress=progress,
+            live=plane.aggregator if plane is not None else None,
+            until_ci=args.until_ci,
+            early_stop=args.until_ci is not None,
+        )
+    finally:
+        if plane is not None:
+            plane.close()
     if progress is not None:
         progress.close()
-    print(f"{args.kernel}: {n} random injections "
+    print(f"{args.kernel}: {result.n_runs} random injections "
           f"({100 * args.confidence:.1f}% CI, ±{100 * args.margin:.1f}pp)")
     print(result.profile)
+    _print_convergence(args, result)
     _finish_manifest(
         manifest, telemetry, t0, profile=result.profile, path=args.manifest
     )
@@ -525,6 +745,7 @@ def cmd_metrics(args) -> int:
                 "backend": args.backend,
                 "resync": args.resync,
                 "resync_window": args.resync_window,
+                **_live_config(args),
             },
             seed=args.seed,
             events_path=args.telemetry_out,
@@ -534,17 +755,28 @@ def cmd_metrics(args) -> int:
         load_instance(args.kernel), telemetry=telemetry, **_checkpoint_kwargs(args)
     )
     progress = _make_progress(args, label=f"{args.kernel} metrics")
-    result = random_campaign(
-        injector,
-        args.runs,
-        rng=args.seed,
-        executor=resolve_executor(args.workers),
-        progress=progress,
-    )
+    plane = _make_live(args, manifest=manifest)
+    try:
+        result = random_campaign(
+            injector,
+            args.runs,
+            rng=args.seed,
+            executor=resolve_executor(
+                args.workers, start_method=args.start_method
+            ),
+            progress=progress,
+            live=plane.aggregator if plane is not None else None,
+            until_ci=args.until_ci,
+            early_stop=args.until_ci is not None,
+        )
+    finally:
+        if plane is not None:
+            plane.close()
     if progress is not None:
         progress.close()
-    print(f"{args.kernel}: {args.runs} instrumented random injections")
+    print(f"{args.kernel}: {result.n_runs} instrumented random injections")
     print(result.profile)
+    _print_convergence(args, result)
     print()
     print(telemetry.metrics.render())
     print()
@@ -656,6 +888,18 @@ def cmd_trace_fault(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    from .observe.statusd import watch
+
+    return watch(
+        args.target,
+        interval_s=args.interval,
+        once=args.once,
+        as_json=args.json,
+        timeout_s=args.timeout,
+    )
+
+
 def cmd_bench_check(args) -> int:
     from .observe.history import (
         DEFAULT_TOLERANCE,
@@ -719,6 +963,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args)
     if args.command == "trace-fault":
         return cmd_trace_fault(args)
+    if args.command == "watch":
+        return cmd_watch(args)
     if args.command == "bench-check":
         return cmd_bench_check(args)
     raise AssertionError("unreachable")  # pragma: no cover

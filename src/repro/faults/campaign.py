@@ -38,12 +38,16 @@ class CampaignResult:
 
     ``sites``/``outcomes`` are empty when the campaign ran with
     ``keep_sites=False`` (streaming over huge spaces); the profile still
-    carries every classified run.
+    carries every classified run.  ``converged`` reports whether the
+    ``until_ci`` convergence target was met; ``stopped_early`` whether the
+    campaign actually cut off there (``early_stop=True``, sampled mode).
     """
 
     sites: list[FaultSite]
     outcomes: list[Outcome]
     profile: ResilienceProfile
+    converged: bool = False
+    stopped_early: bool = False
 
     @property
     def n_runs(self) -> int:
@@ -62,6 +66,10 @@ def run_campaign(
     keep_sites: bool = True,
     label: str = "explicit",
     order_batch: int | None = None,
+    live=None,
+    until_ci: float | None = None,
+    early_stop: bool = False,
+    confidence: float = 0.95,
 ) -> CampaignResult:
     """Inject every site in ``sites``; weight outcomes if weights given.
 
@@ -89,6 +97,21 @@ def run_campaign(
         keep_sites: set False to drop the per-run site/outcome lists and
             keep only the profile — O(1) memory over huge spaces.
         label: campaign tag recorded in :class:`CampaignEvent`.
+        live: a :class:`~repro.observe.live.LiveAggregator` receiving the
+            streaming delta records (serial and pooled executors both
+            feed it).  Advisory: outcomes and the profile are identical
+            with or without it.
+        until_ci: convergence target — once the widest Wilson CI
+            half-width over the four outcome shares drops to this value
+            the campaign reports ``converged``.  Computed from the
+            parent's in-order outcome stream, so the verdict (and any
+            early stop) is deterministic for a fixed seed regardless of
+            worker count.
+        early_stop: with ``until_ci``, actually stop at convergence
+            instead of just flagging it.  Only meaningful for *sampled*
+            campaigns — truncating a weighted exhaustive enumeration
+            would bias the profile, so drivers keep this False there.
+        confidence: CI confidence level for the convergence signal.
     """
     telemetry = telemetry if telemetry is not None else injector.telemetry
     if total is None:
@@ -115,19 +138,72 @@ def run_campaign(
         from ..parallel import SerialExecutor
 
         executor = SerialExecutor(order_batch=order_batch)
+    if live is not None:
+        spec = getattr(injector.instance, "spec", None)
+        live.begin(
+            total=total,
+            kernel=getattr(spec, "key", "") or "",
+            label=label,
+            telemetry=telemetry,
+        )
+    if until_ci is not None:
+        from ..observe.live import check_convergence
     kept_sites: list[FaultSite] = []
     kept_outcomes: list[Outcome] = []
     profile = ResilienceProfile()
+    counts: dict[str, int] = {}
+    converged = False
+    stopped_early = False
     done = 0
-    with telemetry.span(f"campaign.{label}"):
-        for site, weight, outcome in executor.imap(injector, pairs, telemetry):
-            profile.add(outcome, weight)
-            if keep_sites:
-                kept_sites.append(site)
-                kept_outcomes.append(outcome)
-            done += 1
-            if progress is not None:
-                progress(done, total)
+    # Feed the progress reporter cumulative effective instructions so its
+    # ETA projects remaining *work*, not remaining injection count.
+    feed_work = (
+        progress is not None
+        and telemetry.enabled
+        and hasattr(progress, "note_work")
+    )
+    # ``live`` travels as a keyword only when set, so third-party
+    # executors with the pre-live ``imap`` signature keep working.
+    stream = (
+        executor.imap(injector, pairs, telemetry)
+        if live is None
+        else executor.imap(injector, pairs, telemetry, live=live)
+    )
+    try:
+        with telemetry.span(f"campaign.{label}"):
+            for site, weight, outcome in stream:
+                profile.add(outcome, weight)
+                if keep_sites:
+                    kept_sites.append(site)
+                    kept_outcomes.append(outcome)
+                done += 1
+                if until_ci is not None and not converged:
+                    counts[outcome.value] = counts.get(outcome.value, 0) + 1
+                    if check_convergence(counts, done, until_ci, confidence):
+                        converged = True
+                        if live is not None:
+                            live.note_converged()
+                if progress is not None:
+                    if feed_work:
+                        progress.note_work(
+                            telemetry.metrics.counter_value(
+                                "work.effective_instructions"
+                            )
+                        )
+                    progress(done, total)
+                if converged and early_stop:
+                    stopped_early = True
+                    break
+    except BaseException as exc:
+        if live is not None:
+            live.abort(exc)
+        raise
+    finally:
+        # Breaking out (early stop) must still run the executor
+        # generator's cleanup: live drain stop, pool terminate/join.
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
     if telemetry.enabled:
         telemetry.emit(
             CampaignEvent(
@@ -138,7 +214,15 @@ def run_campaign(
                 profile=dict(profile.weights),
             )
         )
-    return CampaignResult(sites=kept_sites, outcomes=kept_outcomes, profile=profile)
+    if live is not None:
+        live.finish(converged=converged, stopped_early=stopped_early)
+    return CampaignResult(
+        sites=kept_sites,
+        outcomes=kept_outcomes,
+        profile=profile,
+        converged=converged,
+        stopped_early=stopped_early,
+    )
 
 
 def random_campaign(

@@ -1021,6 +1021,15 @@ class FaultInjector:
         telemetry.count(
             "injections.fast_path" if fast_path else "injections.full_rerun"
         )
+        # The aggregates live under ``work.`` rather than ``injections.``:
+        # like ``sim.instructions``, a crash-truncated count follows the
+        # backend's lane schedule (lockstep lanes advance past the abort
+        # point, sequential threads don't), so the totals are equivalence-
+        # comparable across checkpoint/resync settings but not across
+        # backends — keep them out of the invariant namespaces.
+        telemetry.count("work.effective_instructions", effective)
+        if spliced:
+            telemetry.count("work.spliced_instructions", spliced)
         telemetry.count(f"outcome.{outcome.value}")
         telemetry.observe("injection_s", duration_s)
         if phases:

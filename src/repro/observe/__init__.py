@@ -20,7 +20,13 @@ package is the read side:
   (``repro report --diff A B``);
 * :mod:`~repro.observe.history` — machine-readable benchmark history
   with host-keyed, tolerance-band regression checking
-  (``repro bench-check``).
+  (``repro bench-check``);
+* :mod:`~repro.observe.live` — streaming telemetry plane for *in-flight*
+  campaigns: worker delta stream, rolling :class:`LiveAggregator` with
+  Wilson-CI convergence signal, crash flight recorder;
+* :mod:`~repro.observe.statusd` — live front-ends: the ``--live-port``
+  HTTP ``/status`` endpoint, atomic status-file writer, and the
+  ``repro watch`` dashboard loop.
 """
 
 from .diff import diff_reports, load_report_json, render_diff_text
@@ -31,26 +37,50 @@ from .history import (
     load_history,
     write_suite_snapshot,
 )
+from .live import (
+    LIVE_STATUS_VERSION,
+    FlightRecorder,
+    LiveAggregator,
+    LiveChannel,
+    QueueDrain,
+    check_convergence,
+    load_flight_dump,
+    max_half_width,
+    render_live,
+)
 from .loader import CampaignLog, load_campaign
 from .propagation import build_propagation_section, render_trace_text
 from .render import render_json, render_markdown, render_text
 from .report import build_report
+from .statusd import StatusFileWriter, StatusServer, watch
 
 __all__ = [
     "HISTORY_SCHEMA_VERSION",
+    "LIVE_STATUS_VERSION",
     "CampaignLog",
+    "FlightRecorder",
+    "LiveAggregator",
+    "LiveChannel",
+    "QueueDrain",
+    "StatusFileWriter",
+    "StatusServer",
     "append_history",
     "build_propagation_section",
     "build_report",
+    "check_convergence",
     "check_history",
     "diff_reports",
     "load_campaign",
+    "load_flight_dump",
     "load_history",
     "load_report_json",
+    "max_half_width",
     "render_diff_text",
     "render_json",
+    "render_live",
     "render_markdown",
     "render_text",
     "render_trace_text",
+    "watch",
     "write_suite_snapshot",
 ]

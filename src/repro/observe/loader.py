@@ -22,6 +22,7 @@ from pathlib import Path
 from ..errors import ReproError
 from ..telemetry import (
     CampaignEvent,
+    HeartbeatEvent,
     InjectionEvent,
     RunManifest,
     SimRunEvent,
@@ -42,6 +43,7 @@ class CampaignLog:
     sim_runs: list[SimRunEvent] = field(default_factory=list)
     stages: list[StageEvent] = field(default_factory=list)
     campaigns: list[CampaignEvent] = field(default_factory=list)
+    heartbeats: list[HeartbeatEvent] = field(default_factory=list)
     manifests: list[RunManifest] = field(default_factory=list)
 
     @property
@@ -140,6 +142,8 @@ def load_campaign(
                 log.stages.append(event)
             elif isinstance(event, CampaignEvent):
                 log.campaigns.append(event)
+            elif isinstance(event, HeartbeatEvent):
+                log.heartbeats.append(event)
     if not log.events and not log.manifests:
         raise ReproError("no events or manifests found in the given files")
     return log

@@ -142,12 +142,27 @@ def render_text(report: dict) -> str:
     workers = report["workers"]
     if workers:
         lines.append("")
-        lines.append(f"workers (imbalance {workers['imbalance']:.2f}x):")
+        header = f"workers (imbalance {workers['imbalance']:.2f}x"
+        if workers.get("queue_wait_skew", 1.0) > 1.0:
+            header += f", queue-wait skew {workers['queue_wait_skew']:.2f}x"
+        lines.append(header + "):")
         for row in workers["rows"]:
-            lines.append(
+            line = (
                 f"  {row['worker']:<18s} injections={row['injections']:<7d}"
                 f" busy={row['busy_s']:.3f}s"
             )
+            if row.get("splices"):
+                line += f" splices={_pct(row['splice_rate'])}"
+            if row.get("queue_wait_mean_s") is not None:
+                line += f" wait={_ms(row['queue_wait_mean_s'])}"
+            if row.get("checkpoint_bytes") is not None:
+                line += (
+                    f" ckpt={row['checkpoint_bytes'] / 1e6:.1f}MB"
+                    f"/{row.get('checkpoint_entries', 0):.0f}"
+                )
+            if row.get("resync_memo_entries") is not None:
+                line += f" memo={row['resync_memo_entries']:.0f}"
+            lines.append(line)
         wait = workers["queue_wait"]
         if wait and wait.get("count"):
             lines.append(
@@ -339,13 +354,25 @@ def render_markdown(report: dict) -> str:
 
     workers = report["workers"]
     if workers:
+        title = f"## Workers (imbalance {workers['imbalance']:.2f}x"
+        if workers.get("queue_wait_skew", 1.0) > 1.0:
+            title += f", queue-wait skew {workers['queue_wait_skew']:.2f}x"
         out += [
-            "", f"## Workers (imbalance {workers['imbalance']:.2f}x)", "",
-            "| worker | injections | busy |", "|---|---|---|",
+            "", title + ")", "",
+            "| worker | injections | busy | splice rate | queue wait |"
+            " ckpt store | resync memo |",
+            "|---|---|---|---|---|---|---|",
         ]
         for row in workers["rows"]:
+            wait = row.get("queue_wait_mean_s")
+            ckpt = row.get("checkpoint_bytes")
+            memo = row.get("resync_memo_entries")
             out.append(
-                f"| {row['worker']} | {row['injections']} | {row['busy_s']:.3f}s |"
+                f"| {row['worker']} | {row['injections']} | {row['busy_s']:.3f}s"
+                f" | {_pct(row.get('splice_rate', 0.0))}"
+                f" | {_ms(wait) if wait is not None else '—'}"
+                f" | {f'{ckpt / 1e6:.1f}MB' if ckpt is not None else '—'}"
+                f" | {f'{memo:.0f}' if memo is not None else '—'} |"
             )
 
     stragglers = report["stragglers"]

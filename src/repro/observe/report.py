@@ -206,7 +206,12 @@ def _compiled_section(log: CampaignLog, counters) -> dict | None:
     }
 
 
-def _worker_section(log: CampaignLog, counters, histograms) -> dict | None:
+def _scoped_gauge(gauges, name: str, worker: str) -> float | None:
+    """A ``name[worker]`` gauge value, or None when never recorded."""
+    return gauges.get(f"{name}[{worker}]")
+
+
+def _worker_section(log: CampaignLog, counters, gauges, histograms) -> dict | None:
     by_worker: dict[str, list] = {}
     for event in log.injections:
         by_worker.setdefault(event.worker or "serial", []).append(event)
@@ -218,21 +223,48 @@ def _worker_section(log: CampaignLog, counters, histograms) -> dict | None:
     if workers in ([], ["serial"]) and not busy:
         return None
     rows = []
+    wait_means: list[float] = []
     for worker in workers:
         events = by_worker.get(worker, [])
         durations = [e.duration_s for e in events]
-        rows.append({
+        splices = sum(1 for e in events if e.spliced_instructions)
+        row = {
             "worker": worker,
             "injections": len(events),
             "injection_s": sum(durations),
             "busy_s": busy.get(worker, sum(durations)),
-        })
+            "splices": splices,
+            "splice_rate": splices / len(events) if events else 0.0,
+        }
+        # Per-worker resource levels from the scoped ``name[worker]``
+        # gauges and histograms the merge keeps for each contributor.
+        checkpoint_bytes = _scoped_gauge(gauges, "checkpoint.bytes", worker)
+        if checkpoint_bytes is not None:
+            row["checkpoint_bytes"] = checkpoint_bytes
+            row["checkpoint_entries"] = (
+                _scoped_gauge(gauges, "checkpoint.entries", worker) or 0.0
+            )
+        memo_entries = _scoped_gauge(gauges, "resync.memo_entries", worker)
+        if memo_entries is not None:
+            row["resync_memo_entries"] = memo_entries
+            row["resync_capture_s"] = (
+                _scoped_gauge(gauges, "resync.capture_s", worker) or 0.0
+            )
+        wait = histograms.get(f"parallel.queue_wait_s[{worker}]")
+        if wait and wait.get("count"):
+            row["queue_wait_mean_s"] = wait["total"] / wait["count"]
+            wait_means.append(row["queue_wait_mean_s"])
+        rows.append(row)
     busy_values = [row["busy_s"] for row in rows if row["busy_s"] > 0]
     mean_busy = sum(busy_values) / len(busy_values) if busy_values else 0.0
+    mean_wait = sum(wait_means) / len(wait_means) if wait_means else 0.0
     queue_wait = histograms.get("parallel.queue_wait_s")
     return {
         "rows": rows,
         "imbalance": (max(busy_values) / mean_busy) if mean_busy else 1.0,
+        # Skew of mean chunk queue-wait across workers: a straggling
+        # worker picks chunks up late, inflating its mean vs the fleet's.
+        "queue_wait_skew": (max(wait_means) / mean_wait) if mean_wait else 1.0,
         "queue_wait": queue_wait,
     }
 
@@ -336,7 +368,7 @@ def build_report(
         "checkpoint": _checkpoint_section(log, counters, gauges),
         "resync": _resync_section(log, counters, gauges),
         "compiled": _compiled_section(log, counters),
-        "workers": _worker_section(log, counters, histograms),
+        "workers": _worker_section(log, counters, gauges, histograms),
         "stragglers": _straggler_section(log),
         "funnel": [
             {

@@ -73,13 +73,18 @@ class PrunedSpace:
         telemetry: Telemetry | None = None,
         executor=None,
         progress=None,
+        live=None,
+        until_ci: float | None = None,
     ) -> ResilienceProfile:
         """Exhaustively inject the pruned space and extrapolate.
 
         ``telemetry``/``progress`` flow into the underlying campaign, so
         every weighted injection is observable like any other run;
         ``executor`` fans the weighted injections over worker processes
-        (see :mod:`repro.parallel`) without changing the profile.
+        (see :mod:`repro.parallel`) without changing the profile;
+        ``live``/``until_ci`` attach the streaming plane and convergence
+        signal.  The enumeration is weighted-exhaustive, so convergence
+        is *reported* but never stops the campaign early.
         """
         result = run_campaign(
             injector,
@@ -91,6 +96,8 @@ class PrunedSpace:
             total=len(self.sites),
             keep_sites=False,
             label="pruned-estimate",
+            live=live,
+            until_ci=until_ci,
         )
         profile = result.profile
         if self.static_masked_weight:

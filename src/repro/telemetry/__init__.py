@@ -31,6 +31,7 @@ from .events import (
     PHASE_NAMES,
     CampaignEvent,
     EventSink,
+    HeartbeatEvent,
     InjectionEvent,
     JsonlSink,
     MemorySink,
@@ -50,7 +51,14 @@ from .manifest import (
     load_manifest,
     profile_to_dict,
 )
-from .metrics import SUMMED_GAUGES, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    SCOPED_HISTOGRAMS,
+    SUMMED_GAUGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .progress import ProgressReporter
 from .timing import SpanStats, SpanTimer
 
@@ -224,11 +232,13 @@ __all__ = [
     "NULL_SINK",
     "NULL_TELEMETRY",
     "PHASE_NAMES",
+    "SCOPED_HISTOGRAMS",
     "SUMMED_GAUGES",
     "CampaignEvent",
     "Counter",
     "EventSink",
     "Gauge",
+    "HeartbeatEvent",
     "Histogram",
     "InjectionEvent",
     "JsonlSink",

@@ -37,7 +37,9 @@ from ..errors import ReproError
 #: v4 added ``effective_instructions``/``spliced_instructions`` on
 #: :class:`InjectionEvent` and the ``resync_scan``/``suffix_splice``
 #: phases (convergence-bounded injection with golden-suffix splicing).
-EVENTS_SCHEMA_VERSION = 4
+#: v5 added :class:`HeartbeatEvent` — worker liveness records emitted by
+#: the live streaming plane (``repro.observe.live``).
+EVENTS_SCHEMA_VERSION = 5
 
 #: Per-injection phase names, in pipeline order.  ``InjectionEvent.phases``
 #: maps a subset of these to seconds spent (phases that did not occur —
@@ -118,6 +120,25 @@ class StageEvent(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class HeartbeatEvent(TelemetryEvent):
+    """Worker liveness beacon from the live streaming plane (schema v5).
+
+    Recorded when a campaign runs with the live plane enabled and an
+    event log attached: one record per worker heartbeat, carrying the
+    worker's completed-injection count and the campaign-wide rolling
+    rate/effective-instruction totals at that instant.  Post-hoc these
+    reconstruct the campaign's throughput timeline without sampling the
+    (much larger) injection stream.
+    """
+
+    worker: str | None = None  # pool worker name; None/"serial" when serial
+    state: str = "beat"  # "online" | "beat" | "crash"
+    done: int = 0  # injections this worker has completed
+    rate: float = 0.0  # campaign-wide rolling injections/sec
+    effective_instructions: int = 0  # campaign-wide effective insn total
+
+
+@dataclass(frozen=True)
 class CampaignEvent(TelemetryEvent):
     """Campaign boundary: ``phase`` is "start" or "end"."""
 
@@ -133,6 +154,7 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
     "injection": InjectionEvent,
     "stage": StageEvent,
     "campaign": CampaignEvent,
+    "heartbeat": HeartbeatEvent,
 }
 
 _NAME_OF = {cls: name for name, cls in EVENT_TYPES.items()}

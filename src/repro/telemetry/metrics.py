@@ -32,6 +32,19 @@ SUMMED_GAUGES = frozenset({
     "checkpoint.entries",
     "checkpoint.evicted",
     "checkpoint.capture_s",
+    "resync.memo_entries",
+    "resync.memo_evicted",
+    "resync.capture_s",
+    "resync.captures",
+})
+
+#: Histograms whose per-worker shape matters for diagnosing pool health.
+#: :meth:`MetricsRegistry.merge` keeps a scoped ``name[worker]`` copy per
+#: contributor *in addition to* the combined ``name`` histogram, so
+#: reports can show queue-wait skew across workers instead of one pooled
+#: distribution that hides a straggler.
+SCOPED_HISTOGRAMS = frozenset({
+    "parallel.queue_wait_s",
 })
 
 
@@ -120,6 +133,16 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram()
         return metric
 
+    def counter_value(self, name: str) -> int | float:
+        """Current value of a counter, 0 if it was never incremented.
+
+        Unlike :meth:`counter` this never *creates* the metric, so hot
+        paths can poll deltas without polluting snapshots with
+        zero-valued entries.
+        """
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
     def merge(self, snapshot: dict, worker: str | None = None) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
@@ -133,7 +156,9 @@ class MetricsRegistry:
         tracked per contributor (``name[worker]``) and the plain ``name``
         gauge is maintained as the sum over contributors — e.g.
         ``checkpoint.bytes`` becomes fleet-total snapshot memory rather
-        than whichever worker's chunk happened to merge last.
+        than whichever worker's chunk happened to merge last.  Histograms
+        in :data:`SCOPED_HISTOGRAMS` additionally keep a per-contributor
+        ``name[worker]`` copy alongside the combined stats.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -153,13 +178,18 @@ class MetricsRegistry:
         for name, summary in snapshot.get("histograms", {}).items():
             if not summary.get("count"):
                 continue
-            metric = self.histogram(name)
-            metric.count += summary["count"]
-            metric.total += summary["total"]
-            if summary["min"] < metric.min:
-                metric.min = summary["min"]
-            if summary["max"] > metric.max:
-                metric.max = summary["max"]
+            self._fold_histogram(name, summary)
+            if worker is not None and name in SCOPED_HISTOGRAMS:
+                self._fold_histogram(f"{name}[{worker}]", summary)
+
+    def _fold_histogram(self, name: str, summary: dict) -> None:
+        metric = self.histogram(name)
+        metric.count += summary["count"]
+        metric.total += summary["total"]
+        if summary["min"] < metric.min:
+            metric.min = summary["min"]
+        if summary["max"] > metric.max:
+            metric.max = summary["max"]
 
     def snapshot(self) -> dict:
         """Plain-dict view for manifests and JSON export."""

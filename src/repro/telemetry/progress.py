@@ -13,6 +13,15 @@ periodic newline-terminated heartbeat lines carrying a *rolling*
 rate (computed over the recent window, not since campaign start) and
 ETA — the log-friendly mode for long unattended campaigns.  ``close()``
 always flushes a final heartbeat so short campaigns aren't silent.
+
+Injections are not uniform work units: checkpoint skipping and resync
+splicing make per-injection cost drift over a campaign (deep sites cost
+more until resync kicks in), so an ETA from the injection *count* rate is
+systematically wrong on deep kernels.  Drivers that know the cumulative
+**effective-instruction** total can feed it via :meth:`note_work`; the
+ETA then projects remaining work in instructions and divides by the
+rolling instruction rate, falling back to the count-based estimate when
+no work units were reported.
 """
 
 from __future__ import annotations
@@ -47,9 +56,12 @@ class ProgressReporter:
         self._rendered = False
         self._last_heartbeat = -float("inf")
         self.heartbeats_emitted = 0
-        # (timestamp, done) samples for the rolling rate; span kept to
-        # roughly two heartbeat periods so the rate tracks recent speed.
-        self._window: deque[tuple[float, int]] = deque()
+        #: Cumulative work units (effective instructions) reported via
+        #: :meth:`note_work`; 0 means "count injections instead".
+        self.work_done = 0
+        # (timestamp, done, work) samples for the rolling rates; span kept
+        # to roughly two heartbeat periods so rates track recent speed.
+        self._window: deque[tuple[float, int, int]] = deque()
 
     # ------------------------------------------------------------ updates
 
@@ -71,11 +83,23 @@ class ProgressReporter:
             self.total = total
         self._after_advance()
 
+    def note_work(self, units: int | float) -> None:
+        """Report the cumulative work-unit total (absolute, monotonic).
+
+        Campaign drivers call this with the running effective-instruction
+        count *before* the positional ``(done, total)`` call, so the next
+        window sample pairs the two.  Ignored when ``units`` does not
+        advance the known total — an uninstrumented campaign reporting 0
+        keeps the count-based ETA.
+        """
+        if units > self.work_done:
+            self.work_done = int(units)
+
     def _after_advance(self) -> None:
         if self.callback is not None:
             self.callback(self)
         now = self._clock()
-        self._window.append((now, self.done))
+        self._window.append((now, self.done, self.work_done))
         span = (self.heartbeat_s or self.min_interval_s) * 2
         while len(self._window) > 2 and now - self._window[0][0] > span:
             self._window.popleft()
@@ -142,16 +166,41 @@ class ProgressReporter:
         """Units/second over the recent sample window (falls back to the
         cumulative :attr:`rate` until two window samples exist)."""
         if len(self._window) >= 2:
-            (t0, d0), (t1, d1) = self._window[0], self._window[-1]
+            (t0, d0, _), (t1, d1, _) = self._window[0], self._window[-1]
             if t1 > t0:
                 return (d1 - d0) / (t1 - t0)
         return self.rate
 
     @property
+    def rolling_work_rate(self) -> float:
+        """Work units (effective instructions)/second over the window."""
+        if len(self._window) >= 2:
+            (t0, _, w0), (t1, _, w1) = self._window[0], self._window[-1]
+            if t1 > t0:
+                return (w1 - w0) / (t1 - t0)
+        elapsed = self.elapsed_s
+        return self.work_done / elapsed if elapsed > 0 else 0.0
+
+    @property
     def eta_s(self) -> float | None:
-        """Seconds remaining, or None when total/rate are unknown."""
+        """Seconds remaining, or None when total/rate are unknown.
+
+        Prefers the work-unit projection when :meth:`note_work` has been
+        fed: remaining work is estimated by scaling the observed
+        work-per-injection to the remaining injection count, then divided
+        by the rolling work rate — so a campaign whose later injections
+        are cheaper (resync splicing) or dearer (deep prefixes) projects
+        from cost actually remaining, not injection count.
+        """
+        if self.total is None:
+            return None
+        if 0 < self.done < self.total and self.work_done > 0:
+            work_rate = self.rolling_work_rate
+            if work_rate > 0:
+                projected_total = self.work_done * (self.total / self.done)
+                return max(0.0, (projected_total - self.work_done) / work_rate)
         rate = self.rolling_rate or self.rate
-        if self.total is None or rate == 0:
+        if rate == 0:
             return None
         return max(0.0, (self.total - self.done) / rate)
 
@@ -177,6 +226,9 @@ class ProgressReporter:
         else:
             line = f"{prefix}heartbeat {self.done}"
         line += f" {self.rolling_rate:.1f}/s"
+        work_rate = self.rolling_work_rate
+        if self.work_done > 0 and work_rate > 0:
+            line += f" {work_rate / 1e6:.2f}Minsn/s"
         eta = self.eta_s
         if eta is not None:
             line += f" eta {_format_duration(eta)}"

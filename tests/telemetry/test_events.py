@@ -9,6 +9,7 @@ from repro.telemetry import (
     EVENT_TYPES,
     EVENTS_SCHEMA_VERSION,
     CampaignEvent,
+    HeartbeatEvent,
     InjectionEvent,
     JsonlSink,
     MemorySink,
@@ -45,6 +46,8 @@ SAMPLE_EVENTS = [
                duration_s=0.01),
     CampaignEvent(4.0, phase="end", campaign="random", n_sites=50,
                   profile={"masked": 40.0, "sdc": 6.0, "other": 4.0}),
+    HeartbeatEvent(5.0, worker="ForkPoolWorker-1", state="beat", done=12,
+                   rate=3.5, effective_instructions=48_000),
 ]
 
 
